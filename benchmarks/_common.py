@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark modules.
+
+Every benchmark regenerates one paper artefact (figure or claim table —
+see DESIGN.md's experiment index), times the computation behind it via
+pytest-benchmark, prints the resulting table, and archives it under
+``benchmarks/reports/`` so EXPERIMENTS.md can cite actual output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import ExperimentTable
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+__all__ = ["emit", "REPORTS_DIR"]
+
+
+def emit(table: ExperimentTable) -> ExperimentTable:
+    """Print a table and archive it under ``benchmarks/reports/``."""
+    text = table.render()
+    print()
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{table.experiment}.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+    return table
+
+
+def emit_text(experiment: str, text: str) -> None:
+    """Print and archive free-form experiment output (figures)."""
+    print()
+    print(text)
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{experiment}.txt"
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")

@@ -1,0 +1,14 @@
+"""Benchmark-session configuration: fresh report files per run."""
+
+from __future__ import annotations
+
+import shutil
+
+from _common import REPORTS_DIR
+
+
+def pytest_sessionstart(session):
+    """Start every benchmark session with an empty reports directory."""
+    if REPORTS_DIR.exists():
+        shutil.rmtree(REPORTS_DIR)
+    REPORTS_DIR.mkdir()

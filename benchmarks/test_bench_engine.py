@@ -1,0 +1,76 @@
+"""Substrate micro-benchmarks: the sequential engine itself.
+
+Not a paper artefact, but the denominator of every speedup number in
+T1/T4 — kept timed so regressions in the engine do not silently skew
+the parallel results.
+"""
+
+from _common import emit
+
+from repro.bench import ExperimentTable
+from repro.engine import EvalCounters, evaluate
+from repro.workloads import make_workload
+
+
+def test_seminaive_ancestor_dag(benchmark):
+    workload = make_workload("dag", 250, seed=1)
+    result = benchmark(evaluate, workload.program, workload.database)
+    assert len(result.relation("anc")) > 0
+
+
+def test_seminaive_same_generation(benchmark):
+    workload = make_workload("same-generation", 64, seed=1)
+    result = benchmark(evaluate, workload.program, workload.database)
+    assert len(result.relation("sg")) > 0
+
+
+def test_seminaive_vs_naive_firings(benchmark):
+    """Ablation: what semi-naive evaluation saves over naive iteration."""
+    workload = make_workload("dag", 120, seed=1)
+
+    def measure():
+        semi = EvalCounters()
+        naive = EvalCounters()
+        evaluate(workload.program, workload.database, counters=semi)
+        evaluate(workload.program, workload.database, method="naive",
+                 counters=naive)
+        return semi, naive
+
+    semi, naive = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = ExperimentTable(
+        experiment="ablation",
+        title="semi-naive vs naive evaluation on dag-120",
+        headers=("strategy", "firings", "probes", "iterations"),
+    )
+    table.add_row("semi-naive", semi.total_firings(), semi.probes,
+                  semi.iterations)
+    table.add_row("naive", naive.total_firings(), naive.probes,
+                  naive.iterations)
+    emit(table)
+    assert naive.total_firings() > semi.total_firings()
+
+
+def test_planner_reordering_ablation(benchmark):
+    """Ablation: greedy body reordering vs textual order."""
+    workload = make_workload("same-generation", 64, seed=1)
+
+    def measure():
+        ordered = EvalCounters()
+        textual = EvalCounters()
+        evaluate(workload.program, workload.database, counters=ordered,
+                 reorder=True)
+        evaluate(workload.program, workload.database, counters=textual,
+                 reorder=False)
+        return ordered, textual
+
+    ordered, textual = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = ExperimentTable(
+        experiment="ablation",
+        title="planner reordering on same-generation-64",
+        headers=("planner", "probes", "firings"),
+    )
+    table.add_row("greedy reorder", ordered.probes, ordered.total_firings())
+    table.add_row("textual order", textual.probes, textual.total_firings())
+    emit(table)
+    # Both orders compute identical answers (same firings).
+    assert ordered.total_firings() == textual.total_firings()

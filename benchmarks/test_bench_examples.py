@@ -1,0 +1,40 @@
+"""T1: the Section 4 scheme comparison (Examples 1–3 plus baselines).
+
+Paper claims reproduced here:
+
+* Example 1 (Wolfson–Silberschatz): zero communication, base relation
+  shared/replicated at every processor.
+* Example 2 (Valduriez–Khoshafian): arbitrary partition (replication
+  1.0), every output tuple broadcast to all other processors.
+* Example 3 (new): point-to-point communication strictly between the
+  two extremes, disjoint base fragments.
+* All shared-``h`` schemes are semi-naive non-redundant (Theorem 2);
+  Wolfson's scheme is redundant on diamond-rich data.
+"""
+
+import pytest
+from _common import emit
+
+from repro.bench import compare_schemes
+from repro.workloads import make_workload
+
+PROCESSORS = range(4)
+
+
+@pytest.mark.parametrize("kind,size", [
+    ("tree", 150),
+    ("dag", 150),
+    ("grid", 64),
+])
+def test_scheme_comparison(benchmark, kind, size):
+    workload = make_workload(kind, size, seed=7)
+    table = benchmark.pedantic(
+        compare_schemes, args=(workload, PROCESSORS), rounds=1, iterations=1)
+    emit(table)
+    rows = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+    assert set(table.column("ok")) == {"yes"}
+    assert rows["example1 (no comm)"]["sent"] == 0
+    assert rows["example2 (broadcast)"]["sent"] >= rows["example3 (p2p)"]["sent"]
+    assert rows["example3 (p2p)"]["replication"] <= 2.0
+    assert rows["example1 (no comm)"]["redundancy"] == 0
+    assert rows["example3 (p2p)"]["redundancy"] == 0

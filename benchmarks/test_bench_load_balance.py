@@ -1,0 +1,56 @@
+"""T8 (extension): the performance study the paper defers to future work.
+
+Section 8: "detailed performance studies that would consider such
+issues as load balancing, processor utilization etc."  We report the
+per-scheme work distribution (Jain fairness index) and round-level
+utilisation on skewed and uniform workloads.
+"""
+
+import pytest
+from _common import emit
+
+from repro.bench import load_balance_table
+from repro.workloads import make_workload
+
+
+@pytest.mark.parametrize("kind,size", [
+    ("dag", 150),       # fairly uniform fan-in
+    ("chain", 80),      # worst case: one long dependency chain
+    ("layered", 240),   # wide, parallel-friendly
+])
+def test_load_balance(benchmark, kind, size):
+    workload = make_workload(kind, size, seed=4)
+    table = benchmark.pedantic(
+        load_balance_table, args=(workload, range(4)), rounds=1, iterations=1)
+    table.add_note("Jain index 1.0 = perfectly even work; 0.25 = one of "
+                   "four processors does everything")
+    emit(table)
+    for value in table.column("jain index"):
+        assert 0.25 <= value <= 1.0
+
+
+def test_hash_balance_improves_with_data_size(benchmark):
+    """Hash partitioning balances better as the workload grows."""
+    from repro.bench import ExperimentTable
+    from repro.parallel import example3_scheme, run_parallel
+
+    def measure():
+        rows = []
+        for size in (30, 100, 300):
+            workload = make_workload("dag", size, seed=4)
+            program = example3_scheme(workload.program, tuple(range(4)))
+            result = run_parallel(program, workload.database)
+            rows.append((size, round(result.metrics.load_balance(), 3)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = ExperimentTable(
+        experiment="T8",
+        title="example3 load balance vs workload size (4 processors)",
+        headers=("dag size", "jain index"),
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(table)
+    indexes = [value for _size, value in rows]
+    assert indexes[-1] >= indexes[0] - 0.05

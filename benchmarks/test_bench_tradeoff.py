@@ -1,0 +1,50 @@
+"""T2: the Section 6 redundancy/communication spectrum.
+
+The paper: "By varying the extent of communication ... we get
+executions which are points along a spectrum whose extremes are
+characterized by non-redundancy and no communication."  We sweep the
+per-processor retention fraction from 0 (Section 3's non-redundant
+scheme) to 1 (Wolfson's communication-free scheme) and report both
+quantities.
+"""
+
+from _common import emit
+
+from repro.bench import tradeoff_sweep
+from repro.workloads import make_workload
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_tradeoff_spectrum_dag(benchmark):
+    workload = make_workload("dag", 150, seed=9)
+    table = benchmark.pedantic(
+        tradeoff_sweep, args=(workload, range(4)),
+        kwargs={"fractions": FRACTIONS}, rounds=1, iterations=1)
+    table.add_note("measured nuance: redundancy is not strictly monotone "
+                   "near keep=1.0 — partial retention lets a tuple be "
+                   "processed at its producers AND its hash home, while "
+                   "full retention confines it to its producers")
+    emit(table)
+    sent = table.column("sent")
+    redundancy = table.column("redundancy")
+    # Communication falls monotonically along the spectrum.
+    assert all(a >= b for a, b in zip(sent, sent[1:]))
+    assert sent[-1] == 0
+    # The non-redundant extreme is exactly non-redundant.
+    assert redundancy[0] == 0
+    # Redundancy appears once communication is given up.
+    assert max(redundancy[1:]) > 0
+
+
+def test_tradeoff_spectrum_tree(benchmark):
+    """On a tree every tuple has one derivation: redundancy stays 0
+    along the whole spectrum, communication still falls to zero."""
+    workload = make_workload("tree", 150, seed=9)
+    table = benchmark.pedantic(
+        tradeoff_sweep, args=(workload, range(4)),
+        kwargs={"fractions": FRACTIONS}, rounds=1, iterations=1)
+    emit(table)
+    assert all(value == 0 for value in table.column("redundancy"))
+    sent = table.column("sent")
+    assert all(a >= b for a, b in zip(sent, sent[1:]))

@@ -1,0 +1,61 @@
+"""Quickstart: evaluate a recursive query sequentially and in parallel.
+
+Run with::
+
+    python examples/quickstart.py
+
+Covers the core API surface: parsing a Datalog program, loading facts,
+sequential semi-naive evaluation, rewriting the program for four
+processors with a discriminating function (the paper's Example 3
+choice), and executing it on the simulated cluster.
+"""
+
+from repro import Database, evaluate, parse_program
+from repro.parallel import example3_scheme, run_parallel
+
+
+def main() -> None:
+    # The paper's running example: who is an ancestor of whom?
+    program = parse_program("""
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    """)
+
+    # A small family tree: par(X, Y) means X is a parent of Y.
+    database = Database.from_facts({
+        "par": [
+            ("alice", "bob"), ("alice", "carol"),
+            ("bob", "dave"), ("carol", "erin"),
+            ("dave", "fred"), ("erin", "gina"),
+        ],
+    })
+
+    # 1. Sequential bottom-up (semi-naive) evaluation.
+    sequential = evaluate(program, database)
+    print(f"sequential answer: {len(sequential.relation('anc'))} ancestor "
+          f"facts in {sequential.counters.iterations} iterations")
+    for ancestor, descendant in sorted(sequential.relation("anc")):
+        print(f"  anc({ancestor}, {descendant})")
+
+    # 2. Parallelise for 4 processors: hash-partition the recursion on
+    #    the first attribute (the paper's Example 3).
+    parallel_program = example3_scheme(program, processors=[0, 1, 2, 3])
+    print("\nbase-relation storage required by this scheme:")
+    print("  " + parallel_program.fragmentation.describe())
+
+    result = run_parallel(parallel_program, database)
+    metrics = result.metrics
+    print(f"\nparallel answer matches: "
+          f"{result.relation('anc').as_set() == sequential.relation('anc').as_set()}")
+    print(f"rounds: {metrics.rounds}, tuples sent between processors: "
+          f"{metrics.total_sent()}, kept local: "
+          f"{metrics.total_self_delivered()}")
+    print(f"firings per processor: "
+          f"{dict(sorted(metrics.firings.items()))}")
+    print(f"redundancy vs sequential: "
+          f"{metrics.redundancy_vs(sequential.counters.total_firings())} "
+          f"(Theorem 2 says this is never positive)")
+
+
+if __name__ == "__main__":
+    main()

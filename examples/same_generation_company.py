@@ -1,0 +1,73 @@
+"""Same-generation peers in an org chart, on real OS processes.
+
+Run with::
+
+    python examples/same_generation_company.py
+
+A non-linear, multi-relation workload for the general scheme of
+Section 7: ``sg(X, Y)`` holds when employees X and Y sit at the same
+depth of the reporting hierarchy (possibly in different departments
+connected by ``flat`` peer links).  The program is rewritten with
+per-rule discriminating sequences, executed first on the deterministic
+simulator and then on real ``multiprocessing`` workers with
+counting-based termination detection.
+"""
+
+from repro import Database, evaluate, parse_program
+from repro.parallel import rewrite_general, run_parallel
+from repro.parallel.mp import run_multiprocessing
+
+
+def org_chart() -> Database:
+    """Two departments, three levels each, bridged at the top."""
+    up = [  # up(Employee, Manager)
+        ("dana", "bo"), ("eli", "bo"), ("fay", "cat"), ("gus", "cat"),
+        ("bo", "ava"), ("cat", "ava"),
+        ("ivy", "hal"), ("jon", "hal"), ("kim", "lee"), ("max", "lee"),
+        ("hal", "nia"), ("lee", "nia"),
+    ]
+    flat = [("ava", "nia")]  # the two VPs are peers
+    down = [(manager, employee) for employee, manager in up]
+    database = Database()
+    database.declare("up", 2).update(up)
+    database.declare("flat", 2).update(flat)
+    database.declare("down", 2).update(down)
+    return database
+
+
+def main() -> None:
+    program = parse_program("""
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    """)
+    database = org_chart()
+
+    sequential = evaluate(program, database)
+    peers = sorted(sequential.relation("sg"))
+    print(f"{len(peers)} same-generation pairs, e.g.:")
+    for pair in peers[:6]:
+        print(f"  sg{pair}")
+
+    # Section 7: per-rule discriminating sequences, derived automatically.
+    parallel_program = rewrite_general(program, processors=(0, 1, 2))
+    print("\nbase-relation storage required:")
+    print("  " + parallel_program.fragmentation.describe().replace(
+        "\n", "\n  "))
+
+    simulated = run_parallel(parallel_program, database)
+    print(f"\nsimulated cluster: answers match = "
+          f"{simulated.relation('sg').as_set() == set(peers)}; "
+          f"{simulated.metrics.rounds} rounds, "
+          f"{simulated.metrics.total_sent()} tuples sent, "
+          f"redundancy = {simulated.metrics.redundancy_vs(sequential.counters.total_firings())}"
+          " (Theorem 6: never positive)")
+
+    real = run_multiprocessing(parallel_program, database, timeout=60)
+    print(f"real processes:    answers match = "
+          f"{real.relation('sg').as_set() == set(peers)}; "
+          f"{real.wall_seconds:.2f}s wall, "
+          f"{real.metrics.control_messages} termination probes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Explore the redundancy/communication spectrum (paper, Section 6).
+
+Run with::
+
+    python examples/tradeoff_explorer.py [size] [processors]
+
+Each processor keeps a fraction of the tuples it generates for
+self-processing and routes the rest by a shared hash function.  Sweeping
+that fraction from 0 to 1 traces the paper's spectrum whose extremes
+are the non-redundant Section 3 scheme and Wolfson's communication-free
+scheme — and shows how the best point depends on how expensive a
+transmitted tuple is.
+"""
+
+import sys
+
+from repro.bench import sequential_baseline, tradeoff_sweep
+from repro.parallel import CostModel, run_parallel, tradeoff_scheme
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    workload = make_workload("dag", size, seed=9)
+    processors = tuple(range(count))
+
+    print(f"workload: {workload.description}, {count} processors\n")
+    table = tradeoff_sweep(workload, processors,
+                           fractions=(0.0, 0.2, 0.4, 0.6, 0.8, 1.0))
+    print(table.render())
+
+    # Which spectrum point is best, per communication cost?
+    _output, seq = sequential_baseline(workload)
+    seq_work = seq.total_firings() + seq.probes
+    print("\nbest retention fraction per communication cost "
+          "(modelled makespan):")
+    fractions = (0.0, 0.25, 0.5, 0.75, 1.0)
+    results = {}
+    for fraction in fractions:
+        program = tradeoff_scheme(workload.program, processors, fraction)
+        results[fraction] = run_parallel(program, workload.database)
+    for send_cost in (0.0, 0.5, 1.0, 2.0, 5.0):
+        cost = CostModel(send_cost=send_cost, recv_cost=send_cost)
+        best = max(fractions,
+                   key=lambda f: results[f].metrics.speedup_vs(seq_work, cost))
+        speedup = results[best].metrics.speedup_vs(seq_work, cost)
+        print(f"  send cost {send_cost:4.1f}: keep {best:.2f} local "
+              f"(speedup {speedup:.2f})")
+    print("\npaper: 'more communication would lead to lesser redundancy, "
+          "and vice-versa' — the compiler should pick the point matching "
+          "the architecture (Section 8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Parallel bottom-up Datalog evaluation via discriminating functions.
+
+A faithful, executable reproduction of
+
+    S. Ganguly, A. Silberschatz, S. Tsur,
+    "A Framework for the Parallel Processing of Datalog Queries",
+    SIGMOD 1990.
+
+Quickstart::
+
+    from repro import parse_program, Database, evaluate
+    from repro.parallel import example3_scheme, run_parallel
+
+    program = parse_program('''
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    ''')
+    db = Database.from_facts({"par": [(1, 2), (2, 3), (3, 4)]})
+
+    sequential = evaluate(program, db)
+    parallel = run_parallel(example3_scheme(program, [0, 1, 2, 3]), db)
+    assert parallel.relation("anc").as_set() == \
+        sequential.relation("anc").as_set()
+
+Subpackages:
+
+* :mod:`repro.datalog` — the language: parser, rules, analysis.
+* :mod:`repro.facts` — relations, indexes, databases, fragmentation.
+* :mod:`repro.engine` — sequential naive/semi-naive evaluation.
+* :mod:`repro.parallel` — the paper's core: discriminating functions,
+  the Section 3/6/7 rewrites, the simulated cluster, a real
+  multiprocessing executor.
+* :mod:`repro.network` — Section 5: dataflow graphs and compile-time
+  minimal network derivation.
+* :mod:`repro.workloads` — canonical programs and seeded generators.
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+"""
+
+from .datalog import (
+    Atom,
+    Constant,
+    LinearSirup,
+    Program,
+    Rule,
+    Substitution,
+    Variable,
+    as_linear_sirup,
+    is_linear_sirup,
+    parse_atom,
+    parse_program,
+    parse_rule,
+)
+from .engine import EvalCounters, EvaluationResult, evaluate
+from .errors import (
+    DatalogSyntaxError,
+    EvaluationError,
+    ExecutionError,
+    NetworkDerivationError,
+    NotASirupError,
+    ProgramValidationError,
+    ReproError,
+    RewriteError,
+    RoutingError,
+    UnsafeRuleError,
+)
+from .facts import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Database",
+    "DatalogSyntaxError",
+    "EvalCounters",
+    "EvaluationError",
+    "EvaluationResult",
+    "ExecutionError",
+    "LinearSirup",
+    "NetworkDerivationError",
+    "NotASirupError",
+    "Program",
+    "ProgramValidationError",
+    "Relation",
+    "ReproError",
+    "RewriteError",
+    "RoutingError",
+    "Rule",
+    "Substitution",
+    "UnsafeRuleError",
+    "Variable",
+    "__version__",
+    "as_linear_sirup",
+    "evaluate",
+    "is_linear_sirup",
+    "parse_atom",
+    "parse_program",
+    "parse_rule",
+]

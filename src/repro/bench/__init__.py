@@ -1,0 +1,30 @@
+"""Benchmark harness: experiment runners and table rendering."""
+
+from .harness import (
+    compare_schemes,
+    default_schemes,
+    general_scheme_table,
+    load_balance_table,
+    network_minimality_table,
+    redundancy_table,
+    scalability_sweep,
+    sequential_baseline,
+    termination_overhead_table,
+    tradeoff_sweep,
+)
+from .reporting import ExperimentTable, render_table
+
+__all__ = [
+    "ExperimentTable",
+    "compare_schemes",
+    "default_schemes",
+    "general_scheme_table",
+    "load_balance_table",
+    "network_minimality_table",
+    "redundancy_table",
+    "render_table",
+    "scalability_sweep",
+    "sequential_baseline",
+    "termination_overhead_table",
+    "tradeoff_sweep",
+]

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["ExperimentTable", "render_table"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    string_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in string_rows:
+        lines.append(" | ".join(
+            text.ljust(widths[index]) for index, text in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table plus free-form notes — one paper artefact.
+
+    Attributes:
+        experiment: the experiment id from DESIGN.md (e.g. ``"T1"``).
+        title: what the table shows.
+        headers: column names.
+        rows: data rows.
+        notes: bullet remarks (paper claim vs measured outcome).
+    """
+
+    experiment: str
+    title: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple[object, ...]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append a data row."""
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        """Append a remark."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the table, its id/title and the notes."""
+        parts = [render_table(self.headers, self.rows,
+                              title=f"[{self.experiment}] {self.title}")]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name (for assertions)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]

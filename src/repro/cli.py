@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    repro run program.dl [--facts facts.dl] [--method seminaive]
+    repro parallel program.dl --scheme example3 -n 4 [--facts facts.dl]
+                   [--keep 0.5] [--mp] [--detect-termination] [--stats]
+    repro network program.dl [--positions 1,2] [--linear 1,-1,1]
+                   [--g-range 2]
+    repro workloads
+
+``program.dl`` is a Datalog file; fact rules (``par(1, 2).``) may live
+in the program file itself or in a separate ``--facts`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .datalog import parse_program
+from .datalog.program import Program
+from .engine import evaluate
+from .errors import ReproError
+from .facts import Database
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(program_path: str, facts_path: Optional[str]) -> Tuple[Program, Database]:
+    """Load a program and its extensional database."""
+    with open(program_path, encoding="utf-8") as handle:
+        program = parse_program(handle.read())
+    database = Database.from_atoms(program.facts())
+    if facts_path is not None:
+        with open(facts_path, encoding="utf-8") as handle:
+            facts_program = parse_program(handle.read(), validate=False)
+        for atom in facts_program.facts():
+            database.add_fact(atom.predicate, atom.to_fact())
+    proper = Program(program.proper_rules())
+    return proper, database
+
+
+def _print_relations(database: Database, predicates: Sequence[str],
+                     limit: int) -> None:
+    for predicate in predicates:
+        relation = database.get(predicate)
+        if relation is None:
+            continue
+        print(f"{predicate}/{relation.arity}: {len(relation)} facts")
+        for index, fact in enumerate(sorted(relation, key=repr)):
+            if index >= limit:
+                print(f"  ... ({len(relation) - limit} more)")
+                break
+            args = ", ".join(str(value) for value in fact)
+            print(f"  {predicate}({args})")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program, database = _load(args.program, args.facts)
+    result = evaluate(program, database, method=args.method)
+    predicates = ([args.query] if args.query
+                  else list(program.derived_predicates))
+    _print_relations(result.output, predicates, args.limit)
+    if args.stats:
+        counters = result.counters
+        print(f"\nfirings: {counters.total_firings()}, "
+              f"probes: {counters.probes}, "
+              f"iterations: {counters.iterations}")
+    return 0
+
+
+def _build_scheme(args: argparse.Namespace, program: Program,
+                  database: Database):
+    from .parallel import (
+        example1_scheme,
+        example2_scheme,
+        example3_scheme,
+        hash_scheme,
+        rewrite_general,
+        tradeoff_scheme,
+        wolfson_scheme,
+    )
+
+    processors = tuple(range(args.processors))
+    scheme = args.scheme
+    if scheme == "example1":
+        return example1_scheme(program, processors)
+    if scheme == "example2":
+        return example2_scheme(program, processors, database)
+    if scheme == "example3":
+        return example3_scheme(program, processors)
+    if scheme == "hash":
+        return hash_scheme(program, processors)
+    if scheme == "wolfson":
+        return wolfson_scheme(program, processors)
+    if scheme == "tradeoff":
+        return tradeoff_scheme(program, processors, args.keep)
+    if scheme == "general":
+        return rewrite_general(program, processors)
+    raise ReproError(f"unknown scheme {scheme!r}")
+
+
+def _cmd_parallel(args: argparse.Namespace) -> int:
+    from .parallel import run_parallel
+    from .parallel.mp import run_multiprocessing
+
+    program, database = _load(args.program, args.facts)
+    parallel_program = _build_scheme(args, program, database)
+    print(f"scheme: {parallel_program.scheme} on "
+          f"{len(parallel_program.processors)} processors")
+    print("base-relation storage:")
+    for line in parallel_program.fragmentation.describe().splitlines():
+        print(f"  {line}")
+
+    if args.mp:
+        result = run_multiprocessing(parallel_program, database,
+                                     timeout=args.timeout)
+        print(f"\nreal multiprocessing run: {result.wall_seconds:.2f}s wall")
+    else:
+        result = run_parallel(parallel_program, database,
+                              detect_termination=args.detect_termination)
+    _print_relations(result.output, parallel_program.derived, args.limit)
+    if args.stats:
+        print()
+        for key, value in result.metrics.summary().items():
+            print(f"  {key}: {value}")
+    if args.check:
+        sequential = evaluate(program, database)
+        matches = all(
+            result.relation(pred).as_set()
+            == sequential.relation(pred).as_set()
+            for pred in parallel_program.derived)
+        print(f"\nmatches sequential evaluation: {matches}")
+        if not matches:
+            return 1
+    return 0
+
+
+def _parse_int_list(text: str) -> Tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _cmd_network(args: argparse.Namespace) -> int:
+    from .datalog import as_linear_sirup
+    from .network import (
+        derive_network,
+        find_dataflow_cycle,
+        format_dataflow,
+        solve_linear_network,
+    )
+    from .parallel import TupleDiscriminator
+
+    program, _database = _load(args.program, None)
+    sirup = as_linear_sirup(program)
+    print(f"dataflow graph: {format_dataflow(sirup)}")
+    cycle = find_dataflow_cycle(sirup)
+    if cycle is not None:
+        print(f"cycle at positions {cycle}: a zero-communication choice "
+              "exists (Theorem 3) — use scheme example1")
+    else:
+        print("acyclic: every choice needs some communication; deriving "
+              "the minimal network graph")
+
+    if args.positions:
+        positions = _parse_int_list(args.positions)
+    else:
+        positions = cycle if cycle is not None else tuple(
+            range(1, sirup.arity + 1))
+    v_r = tuple(sirup.body_vars[p - 1] for p in positions)
+    v_e = tuple(sirup.exit_vars[p - 1] for p in positions)
+    print(f"v(r) = <{', '.join(v.name for v in v_r)}>, "
+          f"v(e) = <{', '.join(v.name for v in v_e)}>")
+
+    if args.linear:
+        coefficients = _parse_int_list(args.linear)
+        network = solve_linear_network(sirup, v_r, v_e, coefficients,
+                                       g_range=args.g_range)
+        print(f"h = linear form {coefficients} over g values; "
+              f"processors {sorted(network.processors)}")
+    else:
+        h = TupleDiscriminator(len(v_r), g_range=args.g_range)
+        network = derive_network(sirup, v_r, v_e, h, g_range=args.g_range)
+        print(f"h = (g(a1), ..., g(a{len(v_r)})); "
+              f"{len(network.processors)} processors")
+    print("minimal network graph (remote edges):")
+    for line in network.to_ascii().splitlines():
+        print(f"  {line}")
+    remote, complete = network.degree_summary()
+    print(f"{remote} of {complete} possible channels can ever be used")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from .workloads import make_workload, workload_kinds
+
+    for kind in workload_kinds():
+        workload = make_workload(kind, 24, seed=0)
+        print(f"{kind:16s} {workload.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel bottom-up Datalog evaluation via "
+                    "discriminating functions (SIGMOD 1990)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="evaluate a program sequentially")
+    run.add_argument("program", help="Datalog program file")
+    run.add_argument("--facts", help="extra facts file")
+    run.add_argument("--method", choices=("seminaive", "naive"),
+                     default="seminaive")
+    run.add_argument("--query", help="print only this derived predicate")
+    run.add_argument("--limit", type=int, default=20,
+                     help="max facts printed per relation")
+    run.add_argument("--stats", action="store_true")
+    run.set_defaults(func=_cmd_run)
+
+    par = commands.add_parser("parallel", help="run a program in parallel")
+    par.add_argument("program", help="Datalog program file")
+    par.add_argument("--facts", help="extra facts file")
+    par.add_argument("--scheme", default="example3",
+                     choices=("example1", "example2", "example3", "hash",
+                              "wolfson", "tradeoff", "general"))
+    par.add_argument("-n", "--processors", type=int, default=4)
+    par.add_argument("--keep", type=float, default=0.5,
+                     help="retention fraction for --scheme tradeoff")
+    par.add_argument("--mp", action="store_true",
+                     help="use real OS processes instead of the simulator")
+    par.add_argument("--detect-termination", action="store_true",
+                     help="run Safra's detector (simulator only)")
+    par.add_argument("--timeout", type=float, default=120.0)
+    par.add_argument("--limit", type=int, default=20)
+    par.add_argument("--stats", action="store_true")
+    par.add_argument("--check", action="store_true",
+                     help="verify against sequential evaluation")
+    par.set_defaults(func=_cmd_parallel)
+
+    net = commands.add_parser("network",
+                              help="derive the minimal network graph")
+    net.add_argument("program", help="Datalog program file (a linear sirup)")
+    net.add_argument("--positions",
+                     help="1-based attribute positions for v(r), e.g. 1,2")
+    net.add_argument("--linear",
+                     help="coefficients of a linear h, e.g. 1,-1,1")
+    net.add_argument("--g-range", type=int, default=2)
+    net.set_defaults(func=_cmd_network)
+
+    wl = commands.add_parser("workloads", help="list built-in workloads")
+    wl.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

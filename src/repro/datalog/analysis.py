@@ -1,0 +1,198 @@
+"""Static analysis of Datalog programs.
+
+Provides the predicate dependency graph, recursion detection, and the
+recognition of *linear sirups* — programs with one linear recursive rule
+and one non-recursive exit rule — which Sections 3 through 6 of the
+paper restrict their schemes to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from ..errors import NotASirupError
+from .atom import Atom
+from .program import Program
+from .rule import Rule
+from .term import Variable
+
+__all__ = [
+    "dependency_graph",
+    "recursive_predicates",
+    "is_recursive_rule",
+    "recursion_components",
+    "LinearSirup",
+    "as_linear_sirup",
+    "is_linear_sirup",
+]
+
+
+def dependency_graph(program: Program) -> "nx.DiGraph":
+    """Return the predicate dependency graph.
+
+    There is an edge ``q -> p`` when predicate ``q`` occurs in the body
+    of a rule whose head predicate is ``p`` (i.e. ``q`` *derives* ``p``,
+    paper Section 2).
+    """
+    graph = nx.DiGraph()
+    for predicate in program.predicates:
+        graph.add_node(predicate)
+    for rule in program.proper_rules():
+        for atom in rule.body:
+            graph.add_edge(atom.predicate, rule.head.predicate)
+    return graph
+
+
+def recursive_predicates(program: Program) -> FrozenSet[str]:
+    """Return the predicates that transitively derive themselves."""
+    graph = dependency_graph(program)
+    recursive: Set[str] = set()
+    for component in nx.strongly_connected_components(graph):
+        if len(component) > 1:
+            recursive |= component
+        else:
+            (node,) = component
+            if graph.has_edge(node, node):
+                recursive.add(node)
+    return frozenset(recursive)
+
+
+def is_recursive_rule(rule: Rule, program: Program) -> bool:
+    """True iff the head predicate transitively derives a body predicate.
+
+    This is the paper's definition of a recursive rule (Section 2).
+    """
+    if not rule.body:
+        return False
+    graph = dependency_graph(program)
+    head = rule.head.predicate
+    reachable = nx.descendants(graph, head) | {head}
+    return any(atom.predicate in reachable for atom in rule.body)
+
+
+def recursion_components(program: Program) -> List[FrozenSet[str]]:
+    """Return the SCCs of the dependency graph in topological order.
+
+    Evaluating the program one component at a time, in this order, is
+    the standard stratification of semi-naive evaluation for programs
+    with several derived predicates.
+    """
+    graph = dependency_graph(program)
+    condensation = nx.condensation(graph)
+    ordered = []
+    for node in nx.topological_sort(condensation):
+        ordered.append(frozenset(condensation.nodes[node]["members"]))
+    return ordered
+
+
+@dataclass(frozen=True)
+class LinearSirup:
+    """The canonical decomposition of a linear sirup (paper, Section 2).
+
+    Attributes:
+        program: the original two-rule program.
+        predicate: the derived predicate symbol ``t``.
+        exit_rule: the non-recursive rule ``t(Z̄) :- s(Z̄)``.
+        recursive_rule: the rule ``t(X̄) :- t(Ȳ), b1, ..., bk``.
+        head_vars: ``X̄`` — the argument terms of the recursive head.
+        body_vars: ``Ȳ`` — the argument terms of the recursive body atom.
+        exit_vars: ``Z̄`` — the argument terms of the exit head.
+        base_atoms: ``b1 ... bk`` in body order.
+        recursive_atom: the unique ``t``-atom in the recursive body.
+    """
+
+    program: Program
+    predicate: str
+    exit_rule: Rule
+    recursive_rule: Rule
+    head_vars: Tuple[Variable, ...]
+    body_vars: Tuple[Variable, ...]
+    exit_vars: Tuple[Variable, ...]
+    base_atoms: Tuple[Atom, ...]
+    recursive_atom: Atom
+
+    @property
+    def base_predicates(self) -> Tuple[str, ...]:
+        """Base predicate symbols of the program, in first-use order."""
+        return self.program.base_predicates
+
+    @property
+    def arity(self) -> int:
+        """Arity of the derived predicate."""
+        return self.recursive_rule.head.arity
+
+
+def _all_variables(atom: Atom) -> Tuple[Variable, ...]:
+    """Arguments of ``atom`` as variables, or raise if any is a constant."""
+    variables = []
+    for term in atom.terms:
+        if not isinstance(term, Variable):
+            raise NotASirupError(
+                f"sirup decomposition requires variable arguments, found {term}"
+                f" in {atom}")
+        variables.append(term)
+    return tuple(variables)
+
+
+def as_linear_sirup(program: Program) -> LinearSirup:
+    """Decompose ``program`` as a linear sirup.
+
+    Raises:
+        NotASirupError: if the program is not a linear sirup: it must
+            have exactly two rules with the same head predicate — one
+            whose body contains no derived predicate (the exit rule) and
+            one whose body contains exactly one occurrence of the head
+            predicate (the recursive rule).
+    """
+    rules = program.proper_rules()
+    if len(rules) != 2 or len(program.rules) != 2:
+        raise NotASirupError(
+            f"a linear sirup has exactly two rules, found {len(program.rules)}")
+    first, second = rules
+    if first.head.predicate != second.head.predicate:
+        raise NotASirupError("both rules of a sirup must define the same predicate")
+    predicate = first.head.predicate
+
+    def occurrences(rule: Rule) -> int:
+        return sum(1 for atom in rule.body if atom.predicate == predicate)
+
+    if occurrences(first) == 0 and occurrences(second) == 1:
+        exit_rule, recursive_rule = first, second
+    elif occurrences(second) == 0 and occurrences(first) == 1:
+        exit_rule, recursive_rule = second, first
+    else:
+        raise NotASirupError(
+            "a linear sirup needs one exit rule and one rule with a single "
+            f"recursive {predicate}-atom")
+
+    derived = set(program.derived_predicates)
+    for atom in exit_rule.body + recursive_rule.body:
+        if atom.predicate in derived and atom.predicate != predicate:
+            raise NotASirupError(
+                f"sirup bodies may only use base predicates and {predicate}")
+
+    (recursive_atom,) = recursive_rule.body_atoms_of(predicate)
+    base_atoms = tuple(a for a in recursive_rule.body if a is not recursive_atom)
+    return LinearSirup(
+        program=program,
+        predicate=predicate,
+        exit_rule=exit_rule,
+        recursive_rule=recursive_rule,
+        head_vars=_all_variables(recursive_rule.head),
+        body_vars=_all_variables(recursive_atom),
+        exit_vars=_all_variables(exit_rule.head),
+        base_atoms=base_atoms,
+        recursive_atom=recursive_atom,
+    )
+
+
+def is_linear_sirup(program: Program) -> bool:
+    """Return True iff ``program`` decomposes as a linear sirup."""
+    try:
+        as_linear_sirup(program)
+    except NotASirupError:
+        return False
+    return True

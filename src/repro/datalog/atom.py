@@ -1,0 +1,113 @@
+"""Atoms: a predicate symbol applied to a sequence of terms."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from .substitution import Substitution
+from .term import Constant, Term, Variable
+
+__all__ = ["Atom"]
+
+
+class Atom:
+    """An atom ``p(t1, ..., tn)``.
+
+    Atoms are immutable and hashable.  A *ground* atom has a constant in
+    every argument position and corresponds to a database fact.
+    """
+
+    __slots__ = ("predicate", "terms")
+
+    def __init__(self, predicate: str, terms: Sequence[Term]) -> None:
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        self.predicate = predicate
+        self.terms: Tuple[Term, ...] = tuple(terms)
+
+    @property
+    def arity(self) -> int:
+        """Number of argument positions."""
+        return len(self.terms)
+
+    def is_ground(self) -> bool:
+        """Return True iff every argument is a constant."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Return the variables of this atom, in order of first occurrence."""
+        seen = []
+        for term in self.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def apply(self, substitution: Substitution) -> "Atom":
+        """Return the atom with ``substitution`` applied to every argument."""
+        return Atom(self.predicate, tuple(substitution.apply(t) for t in self.terms))
+
+    def to_fact(self) -> Tuple[object, ...]:
+        """Return the value tuple of a ground atom.
+
+        Raises:
+            ValueError: if the atom is not ground.
+        """
+        values = []
+        for term in self.terms:
+            if not isinstance(term, Constant):
+                raise ValueError(f"atom {self} is not ground")
+            values.append(term.value)
+        return tuple(values)
+
+    @classmethod
+    def from_fact(cls, predicate: str, values: Iterable[object]) -> "Atom":
+        """Build a ground atom from a predicate name and raw values."""
+        return cls(predicate, tuple(Constant(v) for v in values))
+
+    def rename(self, suffix: str) -> "Atom":
+        """Return a copy with every variable renamed by appending ``suffix``."""
+        renamed = tuple(
+            t.renamed(suffix) if isinstance(t, Variable) else t for t in self.terms
+        )
+        return Atom(self.predicate, renamed)
+
+    def with_predicate(self, predicate: str) -> "Atom":
+        """Return a copy of this atom under a different predicate symbol."""
+        return Atom(predicate, self.terms)
+
+    def match(self, values: Sequence[object],
+              substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+        """Match this atom's arguments against a tuple of raw values.
+
+        Returns the extending substitution on success, or None if a
+        constant argument disagrees or one variable would need two values.
+        """
+        if len(values) != len(self.terms):
+            return None
+        binding = substitution if substitution is not None else Substitution.empty()
+        for term, value in zip(self.terms, values):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+                continue
+            bound = binding.get(term)
+            if bound is None:
+                binding = binding.bind(term, Constant(value))
+            elif not (isinstance(bound, Constant) and bound.value == value):
+                return None
+        return binding
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Atom)
+                and self.predicate == other.predicate
+                and self.terms == other.terms)
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.terms))
+
+    def __str__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({args})"
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {list(self.terms)!r})"

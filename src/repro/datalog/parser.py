@@ -1,0 +1,239 @@
+"""A tokenizer and recursive-descent parser for Datalog source text.
+
+Concrete syntax::
+
+    anc(X, Y) :- par(X, Y).              % a rule
+    anc(X, Y) :- par(X, Z), anc(Z, Y).   % recursion
+    par(ann, bob).                       % a fact rule
+
+    * identifiers starting with an upper-case letter or ``_`` are variables;
+    * identifiers starting with a lower-case letter are symbolic constants
+      (represented as Python strings);
+    * integer literals and single/double-quoted strings are constants;
+    * ``%`` and ``#`` start comments running to end of line;
+    * negation is not part of the paper's language and is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import DatalogSyntaxError
+from .atom import Atom
+from .program import Program
+from .rule import Rule
+from .term import Constant, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "tokenize", "Token"]
+
+_PUNCT = {":-", "(", ")", ",", "."}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with source position (1-based)."""
+
+    kind: str  # 'punct' | 'variable' | 'name' | 'integer' | 'string' | 'eof'
+    text: str
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens.
+
+    Raises:
+        DatalogSyntaxError: on an unrecognised character or unterminated
+            string literal.
+    """
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index, length = 0, len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, column
+        for char in text:
+            if char == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+
+    while index < length:
+        char = source[index]
+        if char in " \t\r\n":
+            advance(char)
+            index += 1
+            continue
+        if char in "%#":
+            end = source.find("\n", index)
+            if end == -1:
+                end = length
+            advance(source[index:end])
+            index = end
+            continue
+        if source.startswith(":-", index):
+            tokens.append(Token("punct", ":-", line, column))
+            advance(":-")
+            index += 2
+            continue
+        if char in "(),.":
+            tokens.append(Token("punct", char, line, column))
+            advance(char)
+            index += 1
+            continue
+        if char in "'\"":
+            end = source.find(char, index + 1)
+            if end == -1:
+                raise DatalogSyntaxError("unterminated string literal", line, column)
+            text = source[index + 1:end]
+            tokens.append(Token("string", text, line, column))
+            advance(source[index:end + 1])
+            index = end + 1
+            continue
+        if char.isdigit() or (char == "-" and index + 1 < length
+                              and source[index + 1].isdigit()):
+            end = index + 1
+            while end < length and source[end].isdigit():
+                end += 1
+            tokens.append(Token("integer", source[index:end], line, column))
+            advance(source[index:end])
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            text = source[index:end]
+            kind = "variable" if (char.isupper() or char == "_") else "name"
+            tokens.append(Token(kind, text, line, column))
+            advance(text)
+            index = end
+            continue
+        if char == "!" or source.startswith("not ", index):
+            raise DatalogSyntaxError(
+                "negation is not part of the paper's Datalog language",
+                line, column)
+        raise DatalogSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: Sequence[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _expect(self, text: str) -> Token:
+        token = self._next()
+        if token.kind == "eof" or token.text != text:
+            raise DatalogSyntaxError(
+                f"expected {text!r}, found {token.text or 'end of input'!r}",
+                token.line, token.column)
+        return token
+
+    def parse_term(self) -> Term:
+        token = self._next()
+        if token.kind == "variable":
+            return Variable(token.text)
+        if token.kind == "name":
+            return Constant(token.text)
+        if token.kind == "integer":
+            return Constant(int(token.text))
+        if token.kind == "string":
+            return Constant(token.text)
+        raise DatalogSyntaxError(
+            f"expected a term, found {token.text or 'end of input'!r}",
+            token.line, token.column)
+
+    def parse_atom(self) -> Atom:
+        token = self._next()
+        if token.kind not in ("name", "variable"):
+            raise DatalogSyntaxError(
+                f"expected a predicate name, found {token.text or 'end of input'!r}",
+                token.line, token.column)
+        if token.kind == "variable":
+            raise DatalogSyntaxError(
+                f"predicate names must start with a lower-case letter: {token.text!r}",
+                token.line, token.column)
+        predicate = token.text
+        self._expect("(")
+        terms = [self.parse_term()]
+        while self._peek().text == ",":
+            self._next()
+            terms.append(self.parse_term())
+        self._expect(")")
+        return Atom(predicate, terms)
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        token = self._next()
+        if token.text == ".":
+            return Rule(head)
+        if token.text != ":-":
+            raise DatalogSyntaxError(
+                f"expected ':-' or '.', found {token.text or 'end of input'!r}",
+                token.line, token.column)
+        body = [self.parse_atom()]
+        while self._peek().text == ",":
+            self._next()
+            body.append(self.parse_atom())
+        self._expect(".")
+        return Rule(head, body)
+
+    def parse_program(self, validate: bool = True) -> Program:
+        rules: List[Rule] = []
+        while self._peek().kind != "eof":
+            rules.append(self.parse_rule())
+        return Program(rules, validate=validate)
+
+
+def parse_program(source: str, validate: bool = True) -> Program:
+    """Parse Datalog source text into a :class:`Program`.
+
+    Args:
+        source: the program text.
+        validate: when True (default), check safety and arity consistency.
+
+    Raises:
+        DatalogSyntaxError: on malformed input.
+        ProgramValidationError: on semantic violations (when validating).
+    """
+    return _Parser(tokenize(source)).parse_program(validate=validate)
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (terminated by ``.``)."""
+    parser = _Parser(tokenize(source))
+    rule = parser.parse_rule()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise DatalogSyntaxError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line, trailing.column)
+    return rule
+
+
+def parse_atom(source: str) -> Atom:
+    """Parse a single atom, e.g. ``anc(X, Y)``."""
+    parser = _Parser(tokenize(source))
+    atom = parser.parse_atom()
+    trailing = parser._peek()
+    if trailing.kind != "eof":
+        raise DatalogSyntaxError(
+            f"unexpected trailing input {trailing.text!r}",
+            trailing.line, trailing.column)
+    return atom

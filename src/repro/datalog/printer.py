@@ -1,0 +1,59 @@
+"""Pretty-printing of Datalog objects back to concrete syntax.
+
+``parse_program(format_program(p))`` is the identity for any program
+produced by the parser (this round-trip is property-tested).
+"""
+
+from __future__ import annotations
+
+from .atom import Atom
+from .program import Program
+from .rule import Rule
+from .term import Term, Variable
+
+__all__ = ["format_term", "format_atom", "format_rule", "format_program"]
+
+
+def format_term(term: Term) -> str:
+    """Render a term in concrete syntax."""
+    if isinstance(term, Variable):
+        return term.name
+    value = term.value
+    if isinstance(value, str):
+        if value and value[0].islower() and value.isidentifier():
+            return value
+        return f"'{value}'"
+    if isinstance(value, bool):
+        # Booleans are not part of the concrete syntax; quote them.
+        return f"'{value}'"
+    if isinstance(value, int):
+        return str(value)
+    return f"'{value}'"
+
+
+def format_atom(atom: Atom) -> str:
+    """Render an atom in concrete syntax."""
+    args = ", ".join(format_term(t) for t in atom.terms)
+    return f"{atom.predicate}({args})"
+
+
+def format_rule(rule: Rule) -> str:
+    """Render a rule in concrete syntax.
+
+    Constraints (which have no concrete syntax) are rendered as trailing
+    comments so the output remains parseable.
+    """
+    if not rule.body:
+        text = f"{format_atom(rule.head)}."
+    else:
+        body = ", ".join(format_atom(a) for a in rule.body)
+        text = f"{format_atom(rule.head)} :- {body}."
+    if rule.constraints:
+        notes = "; ".join(str(c) for c in rule.constraints)
+        text = f"{text}  % where {notes}"
+    return text
+
+
+def format_program(program: Program) -> str:
+    """Render a program, one rule per line."""
+    return "\n".join(format_rule(rule) for rule in program.rules)

@@ -1,0 +1,114 @@
+"""Programs: finite ordered collections of rules.
+
+A Datalog program partitions its predicate symbols into *base*
+(extensional) predicates — those that never appear in a rule head — and
+*derived* (intensional) predicates (paper, Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+from ..errors import ProgramValidationError, UnsafeRuleError
+from .atom import Atom
+from .rule import Rule
+
+__all__ = ["Program"]
+
+
+class Program:
+    """An immutable, validated Datalog program."""
+
+    __slots__ = ("rules", "_arities")
+
+    def __init__(self, rules: Sequence[Rule], validate: bool = True) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._arities: Dict[str, int] = {}
+        if validate:
+            self._validate()
+        else:
+            self._collect_arities(strict=False)
+
+    def _collect_arities(self, strict: bool) -> None:
+        for rule in self.rules:
+            for atom in (rule.head, *rule.body):
+                known = self._arities.get(atom.predicate)
+                if known is None:
+                    self._arities[atom.predicate] = atom.arity
+                elif strict and known != atom.arity:
+                    raise ProgramValidationError(
+                        f"predicate {atom.predicate} used with arities "
+                        f"{known} and {atom.arity}")
+
+    def _validate(self) -> None:
+        self._collect_arities(strict=True)
+        for rule in self.rules:
+            if not rule.is_safe():
+                raise UnsafeRuleError(f"unsafe rule: {rule}")
+
+    @property
+    def derived_predicates(self) -> Tuple[str, ...]:
+        """Predicates appearing in some rule head, in first-use order."""
+        seen = []
+        for rule in self.rules:
+            if rule.body and rule.head.predicate not in seen:
+                seen.append(rule.head.predicate)
+        return tuple(seen)
+
+    @property
+    def base_predicates(self) -> Tuple[str, ...]:
+        """Predicates appearing only in rule bodies, in first-use order."""
+        derived = set(self.derived_predicates)
+        seen = []
+        for rule in self.rules:
+            for atom in rule.body:
+                if atom.predicate not in derived and atom.predicate not in seen:
+                    seen.append(atom.predicate)
+        return tuple(seen)
+
+    @property
+    def predicates(self) -> Tuple[str, ...]:
+        """All predicate symbols, derived first then base."""
+        return self.derived_predicates + self.base_predicates
+
+    def arity_of(self, predicate: str) -> int:
+        """Return the arity of ``predicate``.
+
+        Raises:
+            KeyError: if the predicate does not occur in the program.
+        """
+        return self._arities[predicate]
+
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """Return the rules whose head predicate is ``predicate``."""
+        return tuple(r for r in self.rules if r.head.predicate == predicate)
+
+    def facts(self) -> Tuple[Atom, ...]:
+        """Return the heads of the fact rules (rules with empty bodies)."""
+        return tuple(r.head for r in self.rules if not r.body)
+
+    def proper_rules(self) -> Tuple[Rule, ...]:
+        """Return the rules with non-empty bodies."""
+        return tuple(r for r in self.rules if r.body)
+
+    def extend(self, rules: Iterable[Rule]) -> "Program":
+        """Return a new program with ``rules`` appended."""
+        return Program(self.rules + tuple(rules))
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Program) and self.rules == other.rules
+
+    def __hash__(self) -> int:
+        return hash(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+    def __repr__(self) -> str:
+        return f"Program({list(self.rules)!r})"

@@ -1,0 +1,131 @@
+"""Rules: a head atom, a body of atoms, and optional evaluable constraints.
+
+Plain Datalog rules have an empty constraint list.  The parallelisation
+rewrites of the paper (Sections 3, 6 and 7) attach *hash constraints*
+such as ``h(v(r)) = i`` to rules; these are modelled as objects
+implementing the :class:`Constraint` protocol so the sequential engine
+can evaluate rewritten rules without knowing about discriminating
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, Tuple, runtime_checkable
+
+from .atom import Atom
+from .substitution import Substitution
+from .term import Variable
+
+__all__ = ["Constraint", "Rule"]
+
+
+@runtime_checkable
+class Constraint(Protocol):
+    """An evaluable side condition attached to a rule.
+
+    A constraint restricts the ground substitutions under which a rule
+    may fire.  Its :attr:`variables` must all occur in the rule body so
+    that the constraint is evaluable once the body is matched.
+    """
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        """The variables the constraint reads."""
+        ...
+
+    def satisfied(self, binding: Substitution) -> bool:
+        """Return True iff the constraint holds under ``binding``.
+
+        ``binding`` must bind every variable in :attr:`variables` to a
+        constant.
+        """
+        ...
+
+
+class Rule:
+    """A Datalog rule ``head :- body[, constraints]``.
+
+    A rule with an empty body (and no constraints) is a *fact rule*; its
+    head must then be ground.
+    """
+
+    __slots__ = ("head", "body", "constraints")
+
+    def __init__(self, head: Atom, body: Sequence[Atom] = (),
+                 constraints: Sequence[Constraint] = ()) -> None:
+        self.head = head
+        self.body: Tuple[Atom, ...] = tuple(body)
+        self.constraints: Tuple[Constraint, ...] = tuple(constraints)
+        if not self.body and not head.is_ground():
+            raise ValueError(f"fact rule head must be ground: {head}")
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """Return all variables, in order of first occurrence (head first)."""
+        seen = []
+        for atom in (self.head, *self.body):
+            for var in atom.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def body_variables(self) -> Tuple[Variable, ...]:
+        """Return the variables occurring in the body, in first-occurrence order."""
+        seen = []
+        for atom in self.body:
+            for var in atom.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def head_variables(self) -> Tuple[Variable, ...]:
+        """Return the variables occurring in the head."""
+        return self.head.variables()
+
+    def is_safe(self) -> bool:
+        """True iff every head and constraint variable occurs in the body."""
+        body_vars = set(self.body_variables())
+        if not set(self.head_variables()) <= body_vars:
+            return False
+        for constraint in self.constraints:
+            if not set(constraint.variables) <= body_vars:
+                return False
+        return True
+
+    def predicates(self) -> Tuple[str, ...]:
+        """Return the predicate symbols of the body, in order, with duplicates."""
+        return tuple(atom.predicate for atom in self.body)
+
+    def body_atoms_of(self, predicate: str) -> Tuple[Atom, ...]:
+        """Return the body atoms whose predicate symbol is ``predicate``."""
+        return tuple(a for a in self.body if a.predicate == predicate)
+
+    def with_constraints(self, constraints: Sequence[Constraint]) -> "Rule":
+        """Return a copy with ``constraints`` appended."""
+        return Rule(self.head, self.body, self.constraints + tuple(constraints))
+
+    def with_body(self, body: Sequence[Atom]) -> "Rule":
+        """Return a copy with the body replaced."""
+        return Rule(self.head, body, self.constraints)
+
+    def with_head(self, head: Atom) -> "Rule":
+        """Return a copy with the head replaced."""
+        return Rule(head, self.body, self.constraints)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Rule)
+                and self.head == other.head
+                and self.body == other.body
+                and self.constraints == other.constraints)
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body, self.constraints))
+
+    def __str__(self) -> str:
+        if not self.body and not self.constraints:
+            return f"{self.head}."
+        parts = [str(atom) for atom in self.body]
+        parts.extend(str(c) for c in self.constraints)
+        return f"{self.head} :- {', '.join(parts)}."
+
+    def __repr__(self) -> str:
+        return f"Rule({self.head!r}, {list(self.body)!r}, {list(self.constraints)!r})"

@@ -1,0 +1,99 @@
+"""Substitutions: finite mappings from variables to terms.
+
+A substitution ``θ = {v1/t1, ..., vn/tn}`` maps distinct variables to
+terms (paper, Section 2).  A *ground* substitution maps every variable
+to a constant.  Substitutions are immutable; :meth:`Substitution.bind`
+returns an extended copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .term import Constant, Term, Variable
+
+__all__ = ["Substitution"]
+
+
+class Substitution:
+    """An immutable mapping from :class:`Variable` to :class:`Term`."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None) -> None:
+        self._mapping: Dict[Variable, Term] = dict(mapping) if mapping else {}
+
+    @classmethod
+    def empty(cls) -> "Substitution":
+        """Return the empty substitution."""
+        return cls()
+
+    def get(self, var: Variable) -> Optional[Term]:
+        """Return the term bound to ``var``, or None if unbound."""
+        return self._mapping.get(var)
+
+    def bind(self, var: Variable, term: Term) -> "Substitution":
+        """Return a new substitution with ``var`` additionally bound to ``term``.
+
+        Raises:
+            ValueError: if ``var`` is already bound to a different term.
+        """
+        existing = self._mapping.get(var)
+        if existing is not None:
+            if existing == term:
+                return self
+            raise ValueError(f"variable {var} already bound to {existing}")
+        extended = dict(self._mapping)
+        extended[var] = term
+        return Substitution(extended)
+
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self._mapping.get(term, term)
+        return term
+
+    def is_ground(self) -> bool:
+        """Return True iff every bound term is a constant."""
+        return all(isinstance(t, Constant) for t in self._mapping.values())
+
+    def domain(self) -> Iterable[Variable]:
+        """Return the variables bound by this substitution."""
+        return self._mapping.keys()
+
+    def items(self) -> Iterable[Tuple[Variable, Term]]:
+        """Return the (variable, term) pairs of this substitution."""
+        return self._mapping.items()
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the composition ``self ∘ other``.
+
+        Applying the result is equivalent to applying ``self`` first and
+        ``other`` to the outcome.
+        """
+        composed: Dict[Variable, Term] = {}
+        for var, term in self._mapping.items():
+            composed[var] = other.apply(term)
+        for var, term in other._mapping.items():
+            composed.setdefault(var, term)
+        return Substitution(composed)
+
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Substitution) and self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}/{t}" for v, t in sorted(
+            self._mapping.items(), key=lambda item: item[0].name))
+        return "{" + inner + "}"

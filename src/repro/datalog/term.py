@@ -1,0 +1,80 @@
+"""Terms of the Datalog language: variables and constants.
+
+A *term* is either a :class:`Variable` (written with a leading upper-case
+letter or underscore in the concrete syntax) or a :class:`Constant`
+wrapping an arbitrary hashable Python value (lower-case identifiers,
+quoted strings and integers in the concrete syntax).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Union
+
+__all__ = ["Variable", "Constant", "Term", "is_variable", "is_constant"]
+
+
+class Variable:
+    """A logical variable, identified by its name.
+
+    Two variables are equal iff their names are equal, so the same
+    variable object need not be shared across atoms of a rule.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def renamed(self, suffix: str) -> "Variable":
+        """Return a fresh variable whose name carries ``suffix``."""
+        return Variable(self.name + suffix)
+
+
+class Constant:
+    """A constant term wrapping a hashable Python value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Hashable) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return self.value if self.value.isidentifier() else repr(self.value)
+        return str(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Constant) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+Term = Union[Variable, Constant]
+
+
+def is_variable(term: object) -> bool:
+    """Return True iff ``term`` is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: object) -> bool:
+    """Return True iff ``term`` is a :class:`Constant`."""
+    return isinstance(term, Constant)

@@ -1,0 +1,75 @@
+"""Unification of terms and atoms.
+
+Standard syntactic unification restricted to the flat term language of
+Datalog (no function symbols), which makes the occurs check trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .atom import Atom
+from .substitution import Substitution
+from .term import Term, Variable
+
+__all__ = ["unify_terms", "unify_atoms", "mgu"]
+
+
+def _resolve(term: Term, subst: Substitution) -> Term:
+    """Follow variable bindings in ``subst`` until a fixpoint."""
+    while isinstance(term, Variable):
+        bound = subst.get(term)
+        if bound is None or bound == term:
+            return term
+        term = bound
+    return term
+
+
+def unify_terms(left: Term, right: Term,
+                substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify two terms under an optional pre-existing substitution.
+
+    Returns the extended substitution, or None if unification fails.
+    """
+    subst = substitution if substitution is not None else Substitution.empty()
+    left = _resolve(left, subst)
+    right = _resolve(right, subst)
+    if left == right:
+        return subst
+    if isinstance(left, Variable):
+        return subst.bind(left, right)
+    if isinstance(right, Variable):
+        return subst.bind(right, left)
+    # Two distinct constants.
+    return None
+
+
+def unify_atoms(left: Atom, right: Atom,
+                substitution: Optional[Substitution] = None) -> Optional[Substitution]:
+    """Unify two atoms argument-wise.
+
+    Returns the extended substitution, or None if the predicates or
+    arities differ or some argument pair fails to unify.
+    """
+    if left.predicate != right.predicate or left.arity != right.arity:
+        return None
+    subst = substitution if substitution is not None else Substitution.empty()
+    for l_term, r_term in zip(left.terms, right.terms):
+        result = unify_terms(l_term, r_term, subst)
+        if result is None:
+            return None
+        subst = result
+    return subst
+
+
+def mgu(atoms: Sequence[Atom]) -> Optional[Substitution]:
+    """Return the most general unifier of a sequence of atoms, or None."""
+    if not atoms:
+        return Substitution.empty()
+    subst: Optional[Substitution] = Substitution.empty()
+    first = atoms[0]
+    for atom in atoms[1:]:
+        subst = unify_atoms(first, atom, subst)
+        if subst is None:
+            return None
+    return subst

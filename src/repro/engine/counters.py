@@ -1,0 +1,88 @@
+"""Counters for firings, probes and derived tuples.
+
+The paper's redundancy results (Definition 1, Theorems 2 and 6) are
+statements about the *number of successful ground substitutions* —
+"firings" — so the engine counts every head instantiation it produces,
+before deduplication.  Probe counts (index lookups) additionally feed
+the simulator's work model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable
+
+__all__ = ["EvalCounters"]
+
+
+class EvalCounters:
+    """Mutable counters collected during an evaluation.
+
+    Attributes:
+        firings: per rule label, the number of successful ground
+            substitutions (head tuples produced, duplicates included).
+        new_facts: per rule label, the number of produced tuples that
+            were genuinely new when inserted.
+        probes: number of index lookups performed.
+        iterations: number of semi-naive rounds executed.
+    """
+
+    __slots__ = ("firings", "new_facts", "probes", "iterations")
+
+    def __init__(self) -> None:
+        self.firings: Counter = Counter()
+        self.new_facts: Counter = Counter()
+        self.probes: int = 0
+        self.iterations: int = 0
+
+    def record_firing(self, rule_label: str, count: int = 1) -> None:
+        """Record ``count`` successful ground substitutions of a rule."""
+        self.firings[rule_label] += count
+
+    def record_new(self, rule_label: str, count: int = 1) -> None:
+        """Record ``count`` newly inserted tuples attributed to a rule."""
+        self.new_facts[rule_label] += count
+
+    def record_probe(self, count: int = 1) -> None:
+        """Record ``count`` index lookups."""
+        self.probes += count
+
+    def total_firings(self) -> int:
+        """Total firings across all rules."""
+        return sum(self.firings.values())
+
+    def total_new(self) -> int:
+        """Total new facts across all rules."""
+        return sum(self.new_facts.values())
+
+    def merged_with(self, other: "EvalCounters") -> "EvalCounters":
+        """Return a new counter combining self and ``other``."""
+        merged = EvalCounters()
+        merged.firings = self.firings + other.firings
+        merged.new_facts = self.new_facts + other.new_facts
+        merged.probes = self.probes + other.probes
+        merged.iterations = max(self.iterations, other.iterations)
+        return merged
+
+    @staticmethod
+    def sum(counters: Iterable["EvalCounters"]) -> "EvalCounters":
+        """Combine many counters (iterations: maximum)."""
+        total = EvalCounters()
+        for counter in counters:
+            total = total.merged_with(counter)
+        return total
+
+    def as_dict(self) -> Dict[str, object]:
+        """Return a plain-dict snapshot (for reports and serialisation)."""
+        return {
+            "firings": dict(self.firings),
+            "new_facts": dict(self.new_facts),
+            "probes": self.probes,
+            "iterations": self.iterations,
+            "total_firings": self.total_firings(),
+        }
+
+    def __repr__(self) -> str:
+        return (f"EvalCounters(firings={self.total_firings()}, "
+                f"new={self.total_new()}, probes={self.probes}, "
+                f"iterations={self.iterations})")

@@ -1,0 +1,157 @@
+"""Executable join plans for single rules.
+
+A :class:`RulePlan` fixes an order over the body atoms and, for each
+step, the argument positions that are already bound when the step runs
+(these drive an index lookup) and the constraints that become evaluable
+after the step (pushed as early as possible, mirroring the paper's
+discussion of pushing the discriminating selection into the join).
+
+Execution is a depth-first nested-loops join over hash indexes,
+yielding one head tuple per successful ground substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..datalog.atom import Atom
+from ..datalog.rule import Constraint, Rule
+from ..datalog.substitution import Substitution
+from ..datalog.term import Constant, Variable
+from ..errors import EvaluationError
+from ..facts.database import Database
+from ..facts.relation import Fact
+from .counters import EvalCounters
+
+__all__ = ["PlanStep", "RulePlan"]
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One join step of a plan.
+
+    Attributes:
+        atom: the body atom matched at this step.
+        key_positions: argument positions bound before the step runs
+            (constants, or variables bound by earlier steps).
+        constraints: constraints evaluable right after this step.
+    """
+
+    atom: Atom
+    key_positions: Tuple[int, ...]
+    constraints: Tuple[Constraint, ...]
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """A compiled rule: ordered steps plus a head template.
+
+    Attributes:
+        rule: the source rule.
+        label: identifier used for counters (defaults to ``str(rule)``).
+        steps: the join steps, in execution order.
+        pre_constraints: constraints with no variables (evaluated once).
+    """
+
+    rule: Rule
+    label: str
+    steps: Tuple[PlanStep, ...]
+    pre_constraints: Tuple[Constraint, ...]
+
+    def execute(self, database: Database,
+                counters: Optional[EvalCounters] = None) -> Iterator[Fact]:
+        """Yield one head tuple per successful ground substitution.
+
+        Args:
+            database: must contain a relation for every body predicate.
+            counters: optional counters updated with firings and probes.
+
+        Raises:
+            EvaluationError: if a body relation is missing.
+        """
+        empty_binding = Substitution.empty()
+        for constraint in self.pre_constraints:
+            if not constraint.satisfied(empty_binding):
+                return
+
+        relations = []
+        for step in self.steps:
+            relation = database.get(step.atom.predicate)
+            if relation is None:
+                raise EvaluationError(
+                    f"no relation for predicate {step.atom.predicate!r} "
+                    f"needed by rule {self.label}")
+            relations.append(relation)
+
+        head_terms = self.rule.head.terms
+        binding: Dict[Variable, object] = {}
+
+        def instantiate_head() -> Fact:
+            values = []
+            for term in head_terms:
+                if isinstance(term, Constant):
+                    values.append(term.value)
+                else:
+                    values.append(binding[term])
+            return tuple(values)
+
+        def descend(step_index: int) -> Iterator[Fact]:
+            if step_index == len(self.steps):
+                if counters is not None:
+                    counters.record_firing(self.label)
+                yield instantiate_head()
+                return
+            step = self.steps[step_index]
+            relation = relations[step_index]
+            key = tuple(
+                term.value if isinstance(term, Constant) else binding[term]
+                for term in (step.atom.terms[p] for p in step.key_positions))
+            if counters is not None:
+                counters.record_probe()
+            if len(step.key_positions) == step.atom.arity == 0:
+                candidates = relation.facts()
+            elif step.key_positions:
+                candidates = relation.lookup(step.key_positions, key)
+            else:
+                candidates = relation.facts()
+            for fact in candidates:
+                newly_bound: List[Variable] = []
+                matches = True
+                for position, term in enumerate(step.atom.terms):
+                    value = fact[position]
+                    if isinstance(term, Constant):
+                        if term.value != value:
+                            matches = False
+                            break
+                        continue
+                    if term in binding:
+                        if binding[term] != value:
+                            matches = False
+                            break
+                        continue
+                    binding[term] = value
+                    newly_bound.append(term)
+                if matches:
+                    satisfied = True
+                    for constraint in step.constraints:
+                        snapshot = Substitution(
+                            {v: Constant(binding[v]) for v in constraint.variables})
+                        if not constraint.satisfied(snapshot):
+                            satisfied = False
+                            break
+                    if satisfied:
+                        yield from descend(step_index + 1)
+                for variable in newly_bound:
+                    del binding[variable]
+
+        yield from descend(0)
+
+    def __str__(self) -> str:
+        parts = [f"plan for {self.label}:"]
+        for number, step in enumerate(self.steps, start=1):
+            bound = ",".join(str(p) for p in step.key_positions) or "-"
+            parts.append(f"  {number}. {step.atom} [bound: {bound}]"
+                         + (f" + {len(step.constraints)} constraint(s)"
+                            if step.constraints else ""))
+        return "\n".join(parts)

@@ -1,0 +1,122 @@
+"""Compilation of rules into executable :class:`RulePlan` objects.
+
+The planner orders body atoms greedily so that each step has as many
+bound argument positions as possible (sideways information passing),
+schedules every constraint at the earliest step after which all of its
+variables are bound, and verifies safety of the result.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..datalog.atom import Atom
+from ..datalog.rule import Constraint, Rule
+from ..datalog.term import Constant, Variable
+from ..errors import EvaluationError
+from .plan import PlanStep, RulePlan
+
+__all__ = ["compile_plan", "order_body"]
+
+
+def _bound_positions(atom: Atom, bound_vars: Set[Variable]) -> Tuple[int, ...]:
+    """Positions of ``atom`` holding constants or already-bound variables.
+
+    A variable repeated *within* the atom is not counted as bound at its
+    later occurrences: the index key is built before the atom is
+    matched, so only constants and variables bound by earlier steps can
+    contribute key values.  In-atom repeats are enforced by the
+    consistency check during matching instead.
+    """
+    positions: List[int] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant) or term in bound_vars:
+            positions.append(index)
+    return tuple(positions)
+
+
+def order_body(rule: Rule, reorder: bool = True,
+               pinned_first: Optional[int] = None) -> Tuple[int, ...]:
+    """Return an execution order over body-atom indices.
+
+    Args:
+        rule: the rule whose body is ordered.
+        reorder: when False, keep the textual order.
+        pinned_first: optionally force this body index to run first
+            (semi-naive evaluation pins the delta atom).
+    """
+    count = len(rule.body)
+    if count == 0:
+        return ()
+    if not reorder:
+        if pinned_first is None:
+            return tuple(range(count))
+        rest = [i for i in range(count) if i != pinned_first]
+        return (pinned_first, *rest)
+
+    remaining = set(range(count))
+    ordered: List[int] = []
+    bound: Set[Variable] = set()
+    if pinned_first is not None:
+        ordered.append(pinned_first)
+        remaining.discard(pinned_first)
+        bound |= set(rule.body[pinned_first].variables())
+    while remaining:
+        def score(index: int) -> Tuple[int, int, int]:
+            atom = rule.body[index]
+            bound_count = len(_bound_positions(atom, bound))
+            # Prefer many bound positions, then small arity, then text order.
+            return (-bound_count, atom.arity, index)
+
+        best = min(remaining, key=score)
+        ordered.append(best)
+        remaining.discard(best)
+        bound |= set(rule.body[best].variables())
+    return tuple(ordered)
+
+
+def compile_plan(rule: Rule, label: Optional[str] = None, reorder: bool = True,
+                 pinned_first: Optional[int] = None) -> RulePlan:
+    """Compile ``rule`` into a :class:`RulePlan`.
+
+    Args:
+        rule: a safe rule with a non-empty body.
+        label: counter label; defaults to the rule's text.
+        reorder: allow the greedy atom-ordering heuristic.
+        pinned_first: body index forced to execute first.
+
+    Raises:
+        EvaluationError: if the rule has an empty body or is unsafe.
+    """
+    if not rule.body:
+        raise EvaluationError(f"cannot compile a fact rule: {rule}")
+    if not rule.is_safe():
+        raise EvaluationError(f"cannot compile an unsafe rule: {rule}")
+
+    order = order_body(rule, reorder=reorder, pinned_first=pinned_first)
+    pending: List[Constraint] = list(rule.constraints)
+    pre_constraints = tuple(c for c in pending if not c.variables)
+    pending = [c for c in pending if c.variables]
+
+    steps: List[PlanStep] = []
+    bound: Set[Variable] = set()
+    for body_index in order:
+        atom = rule.body[body_index]
+        key_positions = _bound_positions(atom, bound)
+        bound |= set(atom.variables())
+        ready = tuple(c for c in pending if set(c.variables) <= bound)
+        pending = [c for c in pending if c not in ready]
+        steps.append(PlanStep(atom=atom, key_positions=key_positions,
+                              constraints=ready))
+    if pending:
+        unbound = {str(v) for c in pending for v in c.variables} - {
+            str(v) for v in bound}
+        raise EvaluationError(
+            f"constraint variables {sorted(unbound)} never bound in rule {rule}")
+
+    return RulePlan(
+        rule=rule,
+        label=label if label is not None else str(rule),
+        steps=tuple(steps),
+        pre_constraints=pre_constraints,
+    )

@@ -1,0 +1,200 @@
+"""Semi-naive bottom-up evaluation.
+
+The basic step of semi-naive evaluation substitutes rule variables by
+constants such that every body atom holds in the extensional or the
+partially computed intensional database (paper, Section 3), while only
+considering substitutions that use at least one *new* tuple.  For a rule
+with recursive body occurrences at positions ``p1 < ... < pm`` we
+generate one *delta variant* per occurrence: variant ``l`` reads the
+full relation at positions before ``pl``, the delta at ``pl`` and the
+previous relation at positions after ``pl``.  Each new derivation is
+then enumerated exactly once — at the largest position that uses a new
+tuple.
+
+The delta-variant generator is public because the parallel processors
+(Sections 3, 6 and 7 of the paper) reuse it over their ``t_in``
+relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..datalog.atom import Atom
+from ..datalog.program import Program
+from ..datalog.rule import Rule
+from ..facts.database import Database
+from ..facts.relation import Fact, Relation
+from .counters import EvalCounters
+from .planner import compile_plan
+from .stratify import Stratum, build_strata
+
+__all__ = [
+    "DELTA_SUFFIX",
+    "PREV_SUFFIX",
+    "DeltaVariant",
+    "delta_variants",
+    "seminaive_evaluate",
+]
+
+DELTA_SUFFIX = "#delta"
+PREV_SUFFIX = "#prev"
+
+
+class DeltaVariant:
+    """One delta variant of a recursive rule.
+
+    Attributes:
+        rule: the rewritten rule (body atoms renamed to delta/prev).
+        delta_position: index of the delta atom within the body.
+    """
+
+    __slots__ = ("rule", "delta_position")
+
+    def __init__(self, rule: Rule, delta_position: int) -> None:
+        self.rule = rule
+        self.delta_position = delta_position
+
+    def __repr__(self) -> str:
+        return f"DeltaVariant({self.rule}, delta at {self.delta_position})"
+
+
+def delta_variants(rule: Rule, target_predicates: Set[str],
+                   delta_suffix: str = DELTA_SUFFIX,
+                   prev_suffix: str = PREV_SUFFIX) -> List[DeltaVariant]:
+    """Return the semi-naive delta variants of ``rule``.
+
+    Args:
+        rule: a rule whose body mentions at least one target predicate.
+        target_predicates: the recursive predicates of the current
+            stratum (or the ``_in`` predicates of a parallel processor).
+        delta_suffix: appended to a predicate name to name its delta.
+        prev_suffix: appended to a predicate name to name its previous
+            (pre-round) relation.
+
+    Returns:
+        One variant per occurrence of a target predicate in the body.
+        For non-recursive rules (no occurrence) the list is empty.
+    """
+    occurrences = [i for i, atom in enumerate(rule.body)
+                   if atom.predicate in target_predicates]
+    variants: List[DeltaVariant] = []
+    for delta_at in occurrences:
+        body: List[Atom] = []
+        for index, atom in enumerate(rule.body):
+            if index == delta_at:
+                body.append(atom.with_predicate(atom.predicate + delta_suffix))
+            elif (atom.predicate in target_predicates and index > delta_at):
+                body.append(atom.with_predicate(atom.predicate + prev_suffix))
+            else:
+                body.append(atom)
+        variants.append(DeltaVariant(rule.with_body(body), delta_at))
+    return variants
+
+
+def _evaluate_stratum(stratum: Stratum, working: Database,
+                      counters: EvalCounters, reorder: bool) -> None:
+    """Run semi-naive iteration for one stratum, updating ``working``."""
+    predicates = stratum.predicates
+
+    # Relations for the stratum's predicates already exist in `working`
+    # (declared by the caller); create delta and prev companions.
+    deltas: Dict[str, Relation] = {}
+    prevs: Dict[str, Relation] = {}
+    for predicate in predicates:
+        full = working.relation(predicate)
+        deltas[predicate] = working.declare(predicate + DELTA_SUFFIX, full.arity)
+        prevs[predicate] = working.declare(predicate + PREV_SUFFIX, full.arity)
+        deltas[predicate].clear()
+        prevs[predicate].clear()
+
+    # Exit rules run once; their results seed the deltas together with
+    # any facts the stratum predicates already hold (program facts).
+    exit_plans = [compile_plan(rule, reorder=reorder)
+                  for rule in stratum.exit_rules()]
+    produced: List[Tuple[str, Fact]] = []
+    for plan in exit_plans:
+        head = plan.rule.head.predicate
+        for fact in plan.execute(working, counters):
+            produced.append((head, fact))
+
+    for predicate in predicates:
+        for fact in working.relation(predicate):
+            deltas[predicate].add(fact)
+    for head, fact in produced:
+        if working.relation(head).add(fact):
+            counters.record_new(str(head))
+            deltas[head].add(fact)
+
+    if not stratum.recursive:
+        for predicate in predicates:
+            deltas[predicate].clear()
+        return
+
+    variant_plans = []
+    for rule in stratum.recursive_rules():
+        for variant in delta_variants(rule, set(predicates)):
+            plan = compile_plan(variant.rule, label=str(rule), reorder=reorder,
+                                pinned_first=variant.delta_position)
+            variant_plans.append(plan)
+
+    while any(deltas[p] for p in predicates):
+        counters.iterations += 1
+        round_produced: List[Tuple[str, Fact]] = []
+        for plan in variant_plans:
+            head = plan.rule.head.predicate
+            for fact in plan.execute(working, counters):
+                round_produced.append((head, fact))
+        # Close the round: prev catches up with full, deltas are the
+        # genuinely new facts.
+        for predicate in predicates:
+            prevs[predicate].update(deltas[predicate])
+            deltas[predicate].clear()
+        for head, fact in round_produced:
+            if working.relation(head).add(fact):
+                counters.record_new(str(head))
+                deltas[head].add(fact)
+
+
+def seminaive_evaluate(program: Program, database: Database,
+                       counters: Optional[EvalCounters] = None,
+                       reorder: bool = True) -> Database:
+    """Evaluate ``program`` over ``database`` by stratified semi-naive iteration.
+
+    Args:
+        program: a validated Datalog program.
+        database: the extensional input; never mutated.
+        counters: optional counters accumulating firings/probes/rounds.
+        reorder: allow the planner's greedy atom reordering.
+
+    Returns:
+        A database holding a relation for every derived predicate (the
+        least model restricted to derived predicates), plus references
+        to the input base relations.
+    """
+    counters = counters if counters is not None else EvalCounters()
+    working = Database()
+    derived = set(program.derived_predicates)
+
+    # Attach base relations by reference (they are only read); derived
+    # relations start from the program's fact rules.
+    for relation in database:
+        if relation.name in derived:
+            working.attach(relation.copy())
+        else:
+            working.attach(relation)
+    for predicate in program.predicates:
+        working.declare(predicate, program.arity_of(predicate))
+    for atom in program.facts():
+        working.add_fact(atom.predicate, atom.to_fact())
+
+    for stratum in build_strata(program):
+        _evaluate_stratum(stratum, working, counters, reorder)
+
+    result = Database()
+    for predicate in derived:
+        result.attach(working.relation(predicate))
+    for relation in database:
+        if relation.name not in derived:
+            result.attach(relation)
+    return result

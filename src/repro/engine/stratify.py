@@ -1,0 +1,67 @@
+"""Grouping of program rules into strata of mutually recursive predicates.
+
+Pure Datalog needs no negation-based stratification, but evaluating the
+strongly connected components of the predicate dependency graph in
+topological order keeps semi-naive iteration focused on one recursive
+clique at a time, which both the sequential engine and the general
+parallel scheme (paper, Section 7) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
+
+from ..datalog.analysis import recursion_components
+from ..datalog.program import Program
+from ..datalog.rule import Rule
+
+__all__ = ["Stratum", "build_strata"]
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """A set of mutually recursive predicates and the rules defining them.
+
+    Attributes:
+        predicates: the predicates of this strongly connected component.
+        rules: the proper rules whose head predicate is in the component.
+        recursive: True iff some rule's body mentions a component
+            predicate (self- or mutual recursion).
+    """
+
+    predicates: FrozenSet[str]
+    rules: Tuple[Rule, ...]
+    recursive: bool
+
+    def recursive_rules(self) -> Tuple[Rule, ...]:
+        """Rules whose body mentions a predicate of this stratum."""
+        return tuple(
+            r for r in self.rules
+            if any(a.predicate in self.predicates for a in r.body))
+
+    def exit_rules(self) -> Tuple[Rule, ...]:
+        """Rules whose body mentions no predicate of this stratum."""
+        return tuple(
+            r for r in self.rules
+            if all(a.predicate not in self.predicates for a in r.body))
+
+
+def build_strata(program: Program) -> List[Stratum]:
+    """Return the strata of ``program`` in bottom-up evaluation order.
+
+    Components consisting solely of base predicates are skipped — they
+    have no rules to evaluate.
+    """
+    strata: List[Stratum] = []
+    for component in recursion_components(program):
+        rules = tuple(
+            r for r in program.proper_rules()
+            if r.head.predicate in component)
+        if not rules:
+            continue
+        recursive = any(
+            atom.predicate in component for r in rules for atom in r.body)
+        strata.append(Stratum(predicates=component, rules=rules,
+                              recursive=recursive))
+    return strata

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish parse errors from semantic ones.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatalogSyntaxError",
+    "ProgramValidationError",
+    "UnsafeRuleError",
+    "NotASirupError",
+    "EvaluationError",
+    "RewriteError",
+    "RoutingError",
+    "NetworkDerivationError",
+    "ExecutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DatalogSyntaxError(ReproError):
+    """Raised when Datalog source text cannot be parsed.
+
+    Attributes:
+        line: 1-based line number of the offending token.
+        column: 1-based column number of the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class ProgramValidationError(ReproError):
+    """Raised when a syntactically valid program violates a semantic rule.
+
+    Examples: a base predicate appearing in a rule head, or inconsistent
+    arities for the same predicate symbol.
+    """
+
+
+class UnsafeRuleError(ProgramValidationError):
+    """Raised when a rule is unsafe (a head variable is unbound by the body)."""
+
+
+class NotASirupError(ReproError):
+    """Raised when a program expected to be a linear sirup is not one."""
+
+
+class EvaluationError(ReproError):
+    """Raised when bottom-up evaluation cannot proceed."""
+
+
+class RewriteError(ReproError):
+    """Raised when a parallelisation rewrite is given invalid parameters.
+
+    Typical causes: a discriminating variable that does not occur in the
+    rule it discriminates, or an empty processor set.
+    """
+
+
+class RoutingError(ReproError):
+    """Raised when a tuple cannot be routed to a processor."""
+
+
+class NetworkDerivationError(ReproError):
+    """Raised when a minimal network graph cannot be derived."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a parallel execution fails or does not terminate cleanly."""

@@ -1,0 +1,26 @@
+"""Storage layer: relations, hash indexes, databases and fragmentation."""
+
+from .database import Database
+from .fragments import (
+    SHARED,
+    ArbitraryFragmentation,
+    FragmentationPlan,
+    FragmentationPolicy,
+    HashFragmentation,
+    SharedFragmentation,
+)
+from .index import HashIndex
+from .relation import Fact, Relation
+
+__all__ = [
+    "SHARED",
+    "ArbitraryFragmentation",
+    "Database",
+    "Fact",
+    "FragmentationPlan",
+    "FragmentationPolicy",
+    "HashFragmentation",
+    "HashIndex",
+    "Relation",
+    "SharedFragmentation",
+]

@@ -1,0 +1,50 @@
+"""Hash indexes over argument-position subsets of a relation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashIndex"]
+
+Fact = Tuple[object, ...]
+_EMPTY: Tuple[Fact, ...] = ()
+
+
+class HashIndex:
+    """Maps a key — the values at ``positions`` — to the facts holding it."""
+
+    __slots__ = ("positions", "_buckets")
+
+    def __init__(self, positions: Sequence[int]) -> None:
+        self.positions: Tuple[int, ...] = tuple(positions)
+        self._buckets: Dict[Tuple[object, ...], List[Fact]] = {}
+
+    def key_of(self, fact: Fact) -> Tuple[object, ...]:
+        """Extract the index key of ``fact``."""
+        return tuple(fact[p] for p in self.positions)
+
+    def add(self, fact: Fact) -> None:
+        """Index ``fact`` (caller guarantees it is not yet indexed)."""
+        self._buckets.setdefault(self.key_of(fact), []).append(fact)
+
+    def discard(self, fact: Fact) -> None:
+        """Remove ``fact`` from its bucket if present."""
+        bucket = self._buckets.get(self.key_of(fact))
+        if bucket is None:
+            return
+        try:
+            bucket.remove(fact)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[self.key_of(fact)]
+
+    def lookup(self, key: Tuple[object, ...]) -> Iterable[Fact]:
+        """Return the facts whose indexed positions equal ``key``."""
+        return self._buckets.get(key, _EMPTY)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def __repr__(self) -> str:
+        return f"HashIndex(positions={self.positions}, buckets={len(self._buckets)})"

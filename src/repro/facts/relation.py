@@ -1,0 +1,151 @@
+"""Relations: named sets of fixed-arity tuples with optional hash indexes.
+
+A :class:`Relation` is the storage unit of both the extensional database
+(base predicates) and the partially computed intensional database during
+bottom-up evaluation.  Tuples are plain Python tuples of hashable
+values.  Hash indexes on argument-position subsets are built lazily and
+maintained incrementally on insertion, which is what makes the
+semi-naive join loops of the engine fast enough for benchmark-scale
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Set, Tuple
+
+from .index import HashIndex
+
+__all__ = ["Relation", "Fact"]
+
+Fact = Tuple[object, ...]
+
+
+class Relation:
+    """A mutable set of same-arity tuples.
+
+    Args:
+        name: predicate symbol this relation stores facts for.
+        arity: number of argument positions; every tuple must match it.
+        facts: optional initial tuples.
+    """
+
+    __slots__ = ("name", "arity", "_facts", "_indexes")
+
+    def __init__(self, name: str, arity: int,
+                 facts: Optional[Iterable[Sequence[object]]] = None) -> None:
+        if arity < 0:
+            raise ValueError("arity must be non-negative")
+        self.name = name
+        self.arity = arity
+        self._facts: Set[Fact] = set()
+        self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
+        if facts is not None:
+            self.update(facts)
+
+    def add(self, fact: Sequence[object]) -> bool:
+        """Insert ``fact``; return True iff it was not already present."""
+        tup = tuple(fact)
+        if len(tup) != self.arity:
+            raise ValueError(
+                f"relation {self.name}/{self.arity} cannot store {tup!r}")
+        if tup in self._facts:
+            return False
+        self._facts.add(tup)
+        for index in self._indexes.values():
+            index.add(tup)
+        return True
+
+    def update(self, facts: Iterable[Sequence[object]]) -> int:
+        """Insert many facts; return the number of genuinely new ones."""
+        added = 0
+        for fact in facts:
+            if self.add(fact):
+                added += 1
+        return added
+
+    def discard(self, fact: Sequence[object]) -> bool:
+        """Remove ``fact`` if present; return True iff it was present."""
+        tup = tuple(fact)
+        if tup not in self._facts:
+            return False
+        self._facts.discard(tup)
+        for index in self._indexes.values():
+            index.discard(tup)
+        return True
+
+    def index_on(self, positions: Sequence[int]) -> HashIndex:
+        """Return (building lazily) the hash index on ``positions``."""
+        key = tuple(positions)
+        index = self._indexes.get(key)
+        if index is None:
+            index = HashIndex(key)
+            for fact in self._facts:
+                index.add(fact)
+            self._indexes[key] = index
+        return index
+
+    def lookup(self, positions: Sequence[int],
+               values: Sequence[object]) -> Iterable[Fact]:
+        """Return the facts whose ``positions`` hold ``values``."""
+        return self.index_on(positions).lookup(tuple(values))
+
+    def facts(self) -> FrozenSetView:
+        """Return a read-only view of the fact set."""
+        return FrozenSetView(self._facts)
+
+    def as_set(self) -> Set[Fact]:
+        """Return a copy of the fact set."""
+        return set(self._facts)
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Return a shallow copy (facts copied, indexes not)."""
+        clone = Relation(name if name is not None else self.name, self.arity)
+        clone._facts = set(self._facts)
+        return clone
+
+    def clear(self) -> None:
+        """Remove every fact and drop all indexes."""
+        self._facts.clear()
+        self._indexes.clear()
+
+    def __contains__(self, fact: Sequence[object]) -> bool:
+        return tuple(fact) in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __bool__(self) -> bool:
+        return bool(self._facts)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Relation)
+                and self.name == other.name
+                and self.arity == other.arity
+                and self._facts == other._facts)
+
+    def __hash__(self) -> int:  # pragma: no cover - relations are mutable
+        raise TypeError("Relation is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self)})"
+
+
+class FrozenSetView:
+    """A read-only view over a set of facts."""
+
+    __slots__ = ("_facts",)
+
+    def __init__(self, facts: Set[Fact]) -> None:
+        self._facts = facts
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)

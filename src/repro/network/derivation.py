@@ -1,0 +1,205 @@
+"""Compile-time derivation of the minimal network graph (paper, Section 5).
+
+Which processor pairs can *ever* communicate is a data-independent
+property of the rule, the discriminating sequence and the
+discriminating function — provided ``h`` factors through an arbitrary
+per-constant function ``g`` with a small codomain (Examples 6 and 7).
+We assign a *symbolic* ``g``-value to every attribute position of the
+communicated tuple (plus fresh symbols for variables bound only by base
+atoms, whose values an adversarial input can choose freely), write down
+
+* the **consumer** condition — the receiving processor ``j`` equals
+  ``h`` of ``v(r)`` under the match of the tuple against ``t(Ȳ)``;
+* the **producer** condition — the sending processor ``i`` equals
+  ``h'(v(e))`` under the exit-head match (initialization) or ``h`` of
+  ``v(r)`` under the producer's own firing (processing, the paper's
+  equation (3));
+
+and enumerate all assignments over ``{0..g_range-1}``.  Every solution
+contributes an edge ``i -> j``; no other channel can ever carry a tuple
+(soundness is property-tested against the simulator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from ..datalog.analysis import LinearSirup, as_linear_sirup
+from ..datalog.program import Program
+from ..datalog.term import Variable
+from ..errors import NetworkDerivationError
+from .netgraph import NetworkGraph
+
+__all__ = ["GComposable", "ScenarioConstraints", "derive_network"]
+
+ProcessorId = Hashable
+
+
+class GComposable:
+    """Protocol of discriminators usable by the derivation.
+
+    The derivation needs ``h`` to be computable from per-position
+    ``g``-values alone; :class:`~repro.parallel.discriminating.TupleDiscriminator`
+    and :class:`~repro.parallel.discriminating.LinearDiscriminator`
+    expose this as ``compose_g``.
+    """
+
+    def compose_g(self, g_values: Sequence[int]) -> ProcessorId:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class ScenarioConstraints:
+    """Symbol bookkeeping for one producer scenario.
+
+    Attributes:
+        symbols: total number of symbols (tuple positions first).
+        producer_symbols: symbol index per ``v``-sequence position of
+            the producer condition.
+        consumer_symbols: symbol index per ``v(r)`` position of the
+            consumer condition.
+        equalities: pairs of symbol indices forced equal (repeated
+            variables within the head or the recursive atom).
+        label: ``"exit"`` or ``"recursive"``.
+    """
+
+    symbols: int
+    producer_symbols: Tuple[int, ...]
+    consumer_symbols: Tuple[int, ...]
+    equalities: Tuple[Tuple[int, int], ...]
+    label: str
+
+
+class _SymbolTable:
+    """Allocates symbols and records equality constraints."""
+
+    def __init__(self, count: int) -> None:
+        self.count = count
+        self.equalities: List[Tuple[int, int]] = []
+
+    def fresh(self) -> int:
+        symbol = self.count
+        self.count += 1
+        return symbol
+
+
+def _bind_pattern(variables: Sequence[Variable],
+                  table: _SymbolTable) -> Dict[Variable, int]:
+    """Bind pattern variables to tuple-position symbols ``0..m-1``.
+
+    A variable repeated at several positions forces those positions'
+    symbols equal.
+    """
+    binding: Dict[Variable, int] = {}
+    for position, variable in enumerate(variables):
+        if variable in binding:
+            table.equalities.append((binding[variable], position))
+        else:
+            binding[variable] = position
+    return binding
+
+
+def _sequence_symbols(sequence: Sequence[Variable],
+                      binding: Dict[Variable, int],
+                      table: _SymbolTable) -> Tuple[int, ...]:
+    """Symbols of a discriminating sequence; unbound variables get fresh ones."""
+    fresh_cache: Dict[Variable, int] = {}
+    symbols = []
+    for variable in sequence:
+        if variable in binding:
+            symbols.append(binding[variable])
+        else:
+            if variable not in fresh_cache:
+                fresh_cache[variable] = table.fresh()
+            symbols.append(fresh_cache[variable])
+    return tuple(symbols)
+
+
+def build_scenarios(sirup: LinearSirup, v_r: Sequence[Variable],
+                    v_e: Sequence[Variable]) -> List[ScenarioConstraints]:
+    """Construct the exit-producer and recursive-producer scenarios."""
+    arity = sirup.arity
+    scenarios: List[ScenarioConstraints] = []
+
+    # Consumer side is common: match the tuple against t(Ȳ).
+    for producer_label in ("exit", "recursive"):
+        table = _SymbolTable(arity)
+        consumer_binding = _bind_pattern(sirup.body_vars, table)
+        consumer_symbols = _sequence_symbols(tuple(v_r), consumer_binding, table)
+        if producer_label == "exit":
+            producer_binding = _bind_pattern(sirup.exit_vars, table)
+            producer_symbols = _sequence_symbols(tuple(v_e), producer_binding,
+                                                 table)
+        else:
+            producer_binding = _bind_pattern(sirup.head_vars, table)
+            producer_symbols = _sequence_symbols(tuple(v_r), producer_binding,
+                                                 table)
+        scenarios.append(ScenarioConstraints(
+            symbols=table.count,
+            producer_symbols=producer_symbols,
+            consumer_symbols=consumer_symbols,
+            equalities=tuple(table.equalities),
+            label=producer_label,
+        ))
+    return scenarios
+
+
+def derive_network(program: Union[Program, LinearSirup],
+                   v_r: Sequence[Variable], v_e: Sequence[Variable],
+                   h: GComposable, h_prime: Optional[GComposable] = None,
+                   g_range: int = 2,
+                   max_symbols: int = 20) -> NetworkGraph:
+    """Derive the minimal network graph of a linear sirup at compile time.
+
+    Args:
+        program: the linear sirup (program or decomposition).
+        v_r: discriminating sequence of the recursive rule.
+        v_e: discriminating sequence of the exit rule.
+        h: a ``g``-composable discriminating function for the recursion.
+        h_prime: ditto for the exit rule (default: ``h``).
+        g_range: codomain size of the arbitrary function ``g``.
+        max_symbols: guard against blow-up of the enumeration.
+
+    Returns:
+        A :class:`NetworkGraph` whose nodes are the processor set of
+        ``h`` and whose edges are exactly the possible communications
+        (self-loops included; filter with ``edges(include_self=False)``).
+
+    Raises:
+        NetworkDerivationError: if a discriminator lacks ``compose_g``
+            or the symbol count exceeds ``max_symbols``.
+    """
+    sirup = (program if isinstance(program, LinearSirup)
+             else as_linear_sirup(program))
+    h_prime = h_prime if h_prime is not None else h
+    for function, name in ((h, "h"), (h_prime, "h'")):
+        if not hasattr(function, "compose_g"):
+            raise NetworkDerivationError(
+                f"{name} ({type(function).__name__}) does not factor "
+                "through per-constant g values; derivation needs a "
+                "TupleDiscriminator or LinearDiscriminator")
+
+    processors = set(getattr(h, "processors", ())) | set(
+        getattr(h_prime, "processors", ()))
+    graph = NetworkGraph(processors)
+
+    for scenario in build_scenarios(sirup, v_r, v_e):
+        if scenario.symbols > max_symbols:
+            raise NetworkDerivationError(
+                f"{scenario.symbols} symbols exceed max_symbols="
+                f"{max_symbols}; enumeration would be too large")
+        producer_h = h_prime if scenario.label == "exit" else h
+        for assignment in itertools.product(range(g_range),
+                                            repeat=scenario.symbols):
+            if any(assignment[a] != assignment[b]
+                   for a, b in scenario.equalities):
+                continue
+            source = producer_h.compose_g(
+                tuple(assignment[s] for s in scenario.producer_symbols))
+            target = h.compose_g(
+                tuple(assignment[s] for s in scenario.consumer_symbols))
+            if source in processors and target in processors:
+                graph.add_edge(source, target)
+    return graph

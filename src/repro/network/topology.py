@@ -1,0 +1,134 @@
+"""Physical processor topologies and embedding checks.
+
+Section 5's motivation: the compile-time network graph tells which
+channels a parallel execution needs, so the rewriting "can be used to
+adapt the parallel execution onto an existing parallel architecture".
+A derived network graph is *runnable as-is* on a physical topology iff
+its remote edges map into the topology's links — the paper forbids
+routing through intermediaries (Definition 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Optional, Sequence
+
+from .netgraph import NetworkGraph
+
+__all__ = [
+    "complete_topology",
+    "ring_topology",
+    "star_topology",
+    "mesh_topology",
+    "hypercube_topology",
+    "embeds_identity",
+    "find_embedding",
+]
+
+ProcessorId = Hashable
+
+
+def complete_topology(processors: Sequence[ProcessorId]) -> NetworkGraph:
+    """Every ordered pair is a link (Section 3's idealised architecture)."""
+    graph = NetworkGraph(processors)
+    for source in processors:
+        for target in processors:
+            if source != target:
+                graph.add_edge(source, target)
+    return graph
+
+
+def ring_topology(processors: Sequence[ProcessorId],
+                  bidirectional: bool = True) -> NetworkGraph:
+    """A cycle over the processors in the given order."""
+    graph = NetworkGraph(processors)
+    count = len(processors)
+    for index in range(count):
+        source = processors[index]
+        target = processors[(index + 1) % count]
+        if source != target:
+            graph.add_edge(source, target)
+            if bidirectional:
+                graph.add_edge(target, source)
+    return graph
+
+
+def star_topology(processors: Sequence[ProcessorId]) -> NetworkGraph:
+    """The first processor is the hub; all links go through it."""
+    graph = NetworkGraph(processors)
+    hub = processors[0]
+    for other in processors[1:]:
+        graph.add_edge(hub, other)
+        graph.add_edge(other, hub)
+    return graph
+
+
+def mesh_topology(rows: int, columns: int) -> NetworkGraph:
+    """A 2-D grid of processors named ``(row, column)``."""
+    processors = [(r, c) for r in range(rows) for c in range(columns)]
+    graph = NetworkGraph(processors)
+    for r, c in processors:
+        for dr, dc in ((0, 1), (1, 0)):
+            neighbour = (r + dr, c + dc)
+            if neighbour in set(processors):
+                graph.add_edge((r, c), neighbour)
+                graph.add_edge(neighbour, (r, c))
+    return graph
+
+
+def hypercube_topology(dimension: int) -> NetworkGraph:
+    """A ``dimension``-cube of processors named by bit tuples.
+
+    Natural for Example 6's processor ids ``(g(a), g(b))``: the
+    two-dimensional hypercube *is* that processor set with single-bit
+    links.
+    """
+    processors = [tuple((index >> bit) & 1 for bit in range(dimension))
+                  for index in range(2 ** dimension)]
+    graph = NetworkGraph(processors)
+    for processor in processors:
+        for bit in range(dimension):
+            neighbour = tuple(value ^ 1 if position == bit else value
+                              for position, value in enumerate(processor))
+            graph.add_edge(processor, neighbour)
+            graph.add_edge(neighbour, processor)
+    return graph
+
+
+def embeds_identity(network: NetworkGraph, topology: NetworkGraph) -> bool:
+    """True iff the network's remote edges are topology links as-is.
+
+    Both graphs must be over the same processor ids; no renaming is
+    attempted (Definition 3 forbids indirect routing, so a needed edge
+    missing from the topology is fatal).
+    """
+    return network.edges(include_self=False) <= topology.edges(
+        include_self=False)
+
+
+def find_embedding(network: NetworkGraph, topology: NetworkGraph,
+                   max_nodes: int = 8) -> Optional[Dict[ProcessorId, ProcessorId]]:
+    """Search for a node renaming embedding the network into the topology.
+
+    Brute force over permutations — only sensible for small processor
+    sets, which is what compile-time network derivation produces.
+
+    Returns:
+        A mapping network-node → topology-node, or None.
+
+    Raises:
+        ValueError: if either graph exceeds ``max_nodes`` nodes.
+    """
+    net_nodes = list(network.processors)
+    topo_nodes = list(topology.processors)
+    if len(net_nodes) > max_nodes or len(topo_nodes) > max_nodes:
+        raise ValueError(f"embedding search limited to {max_nodes} nodes")
+    if len(net_nodes) > len(topo_nodes):
+        return None
+    needed = network.edges(include_self=False)
+    available = topology.edges(include_self=False)
+    for image in itertools.permutations(topo_nodes, len(net_nodes)):
+        mapping = dict(zip(net_nodes, image))
+        if all((mapping[s], mapping[t]) in available for s, t in needed):
+            return mapping
+    return None

@@ -1,0 +1,73 @@
+"""The parallel framework: discriminating functions, rewrites, execution."""
+
+from .constraints import HashConstraint
+from .discriminating import (
+    ConstantDiscriminator,
+    Discriminator,
+    DiscriminatorFamily,
+    HashDiscriminator,
+    LinearDiscriminator,
+    LocalRetentionFamily,
+    ModuloDiscriminator,
+    PartitionDiscriminator,
+    TupleDiscriminator,
+    UniformFamily,
+    binary_g,
+    stable_hash,
+)
+from .metrics import CostModel, ParallelMetrics
+from .plans import FragmentSpec, ParallelProgram, ProcessorProgram
+from .processor import ProcessorRuntime
+from .rewrite_general import RuleSpec, auto_specs, rewrite_general
+from .rewrite_linear import rewrite_linear_family, rewrite_linear_sirup
+from .routing import BROADCAST, Route, route_positions
+from .schemes import (
+    example1_scheme,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    position_scheme,
+    tradeoff_scheme,
+    wolfson_scheme,
+)
+from .simulator import ParallelResult, SimulatedCluster, run_parallel
+
+__all__ = [
+    "BROADCAST",
+    "ConstantDiscriminator",
+    "CostModel",
+    "Discriminator",
+    "DiscriminatorFamily",
+    "FragmentSpec",
+    "HashConstraint",
+    "HashDiscriminator",
+    "LinearDiscriminator",
+    "LocalRetentionFamily",
+    "ModuloDiscriminator",
+    "ParallelMetrics",
+    "ParallelProgram",
+    "ParallelResult",
+    "PartitionDiscriminator",
+    "ProcessorProgram",
+    "ProcessorRuntime",
+    "Route",
+    "RuleSpec",
+    "SimulatedCluster",
+    "TupleDiscriminator",
+    "UniformFamily",
+    "auto_specs",
+    "binary_g",
+    "example1_scheme",
+    "example2_scheme",
+    "example3_scheme",
+    "hash_scheme",
+    "position_scheme",
+    "rewrite_general",
+    "rewrite_linear_family",
+    "rewrite_linear_sirup",
+    "route_positions",
+    "run_parallel",
+    "stable_hash",
+    "tradeoff_scheme",
+    "wolfson_scheme",
+]

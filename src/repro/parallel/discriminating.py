@@ -1,0 +1,358 @@
+"""Discriminating sequences and discriminating functions (paper, Section 3).
+
+A *discriminating sequence* ``v(r)`` is a sequence of variables of a
+rule; a *discriminating function* ``h`` maps ground instances of the
+sequence to processor ids.  The partition of ground substitutions that
+``h`` induces is what distributes the workload: processor ``i``
+evaluates only the substitutions with ``h(v(r)) = i``.
+
+All discriminators here are deterministic and process-stable: they use
+:func:`stable_hash` (BLAKE2) rather than Python's per-process ``hash``,
+so the same tuple routes to the same processor in every worker process
+of the multiprocessing executor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Hashable, Optional, Sequence, Tuple
+
+from ..errors import RoutingError
+from ..facts.fragments import ArbitraryFragmentation
+
+__all__ = [
+    "stable_hash",
+    "Discriminator",
+    "HashDiscriminator",
+    "ModuloDiscriminator",
+    "TupleDiscriminator",
+    "LinearDiscriminator",
+    "PartitionDiscriminator",
+    "ConstantDiscriminator",
+    "DiscriminatorFamily",
+    "UniformFamily",
+    "LocalRetentionFamily",
+    "binary_g",
+]
+
+ProcessorId = Hashable
+Values = Tuple[object, ...]
+
+
+def stable_hash(value: object, salt: int = 0) -> int:
+    """Return a deterministic 64-bit hash of ``value``.
+
+    Stable across processes and Python invocations (unlike built-in
+    ``hash`` on strings), which the multiprocessing executor requires.
+    """
+    digest = hashlib.blake2b(
+        repr((salt, value)).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def binary_g(value: object, salt: int = 0) -> int:
+    """An arbitrary function from constants to ``{0, 1}``.
+
+    This is the ``g`` of Examples 6 and 7: any function from database
+    constants to a small codomain, out of which structured
+    discriminating functions are composed.
+    """
+    return stable_hash(value, salt) & 1
+
+
+class Discriminator:
+    """Base class of discriminating functions.
+
+    A discriminator is a callable from value tuples (ground instances of
+    the discriminating sequence) to processor ids, together with the
+    processor set it ranges over.
+    """
+
+    def __init__(self, processors: Sequence[ProcessorId]) -> None:
+        if not processors:
+            raise RoutingError("processor set must be non-empty")
+        self.processors: Tuple[ProcessorId, ...] = tuple(processors)
+
+    def __call__(self, values: Values) -> ProcessorId:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable summary for reports."""
+        return type(self).__name__
+
+
+class HashDiscriminator(Discriminator):
+    """``h(values) = processors[stable_hash(values) mod N]``.
+
+    The workhorse discriminator: a uniform hash partition of ground
+    instances over the processor set.
+    """
+
+    def __init__(self, processors: Sequence[ProcessorId], salt: int = 0) -> None:
+        super().__init__(processors)
+        self.salt = salt
+
+    def __call__(self, values: Values) -> ProcessorId:
+        return self.processors[stable_hash(values, self.salt)
+                               % len(self.processors)]
+
+    def describe(self) -> str:
+        return f"hash mod {len(self.processors)} (salt={self.salt})"
+
+
+class ModuloDiscriminator(Discriminator):
+    """``h(values) = processors[sum(values) mod N]`` for integer values.
+
+    Readable in examples and, being a symmetric function of its
+    arguments, invariant under the cyclic shifts that Theorem 3's
+    zero-communication construction relies on.
+    """
+
+    def __call__(self, values: Values) -> ProcessorId:
+        total = 0
+        for value in values:
+            if isinstance(value, int):
+                total += value
+            else:
+                total += stable_hash(value)
+        return self.processors[total % len(self.processors)]
+
+    def describe(self) -> str:
+        return f"sum mod {len(self.processors)}"
+
+
+class TupleDiscriminator(Discriminator):
+    """``h(a1, ..., am) = (g(a1), ..., g(am))`` — Example 6.
+
+    Processor ids are tuples over the codomain of ``g``; with the
+    default binary ``g`` and ``m = 2`` the processors are
+    ``(0,0), (0,1), (1,0), (1,1)``.
+    """
+
+    def __init__(self, length: int, g: Callable[[object], int] = binary_g,
+                 g_range: int = 2) -> None:
+        processors = _tuple_space(length, g_range)
+        super().__init__(processors)
+        self.length = length
+        self.g = g
+        self.g_range = g_range
+
+    def __call__(self, values: Values) -> ProcessorId:
+        if len(values) != self.length:
+            raise RoutingError(
+                f"expected {self.length} values, got {len(values)}")
+        return tuple(self.g(v) % self.g_range for v in values)
+
+    def compose_g(self, g_values: Sequence[int]) -> ProcessorId:
+        """Apply the discriminator to pre-computed ``g`` values.
+
+        The compile-time network derivation (Section 5) enumerates
+        symbolic ``g`` values; any discriminator that factors through
+        ``g`` per position exposes this hook.
+        """
+        return tuple(g_values)
+
+    def describe(self) -> str:
+        return f"(g(a1), ..., g(a{self.length})) with g range {self.g_range}"
+
+
+def _tuple_space(length: int, g_range: int) -> Tuple[Tuple[int, ...], ...]:
+    """All tuples in ``{0..g_range-1}^length``, lexicographically."""
+    if length == 0:
+        return ((),)
+    shorter = _tuple_space(length - 1, g_range)
+    return tuple((value, *rest) for value in range(g_range) for rest in shorter)
+
+
+class LinearDiscriminator(Discriminator):
+    """``h(a1, ..., am) = c1·g(a1) + ... + cm·g(am)`` — Example 7.
+
+    With coefficients ``(1, -1, 1)`` and binary ``g`` this is exactly
+    the paper's ``h(a1,a2,a3) = g(a1) - g(a2) + g(a3)`` whose processor
+    set is ``{-1, 0, 1, 2}``.  An optional modulus folds the range onto
+    ``{0..modulus-1}``.
+    """
+
+    def __init__(self, coefficients: Sequence[int],
+                 g: Callable[[object], int] = binary_g,
+                 g_range: int = 2, modulus: Optional[int] = None) -> None:
+        self.coefficients = tuple(coefficients)
+        self.g = g
+        self.g_range = g_range
+        self.modulus = modulus
+        super().__init__(self._range())
+
+    def _range(self) -> Tuple[int, ...]:
+        """The exact set of reachable values of the linear form."""
+        values = {0}
+        for coefficient in self.coefficients:
+            values = {v + coefficient * b
+                      for v in values for b in range(self.g_range)}
+        if self.modulus is not None:
+            values = {v % self.modulus for v in values}
+        return tuple(sorted(values))
+
+    def __call__(self, values: Values) -> ProcessorId:
+        if len(values) != len(self.coefficients):
+            raise RoutingError(
+                f"expected {len(self.coefficients)} values, got {len(values)}")
+        total = sum(c * (self.g(v) % self.g_range)
+                    for c, v in zip(self.coefficients, values))
+        if self.modulus is not None:
+            total %= self.modulus
+        return total
+
+    def compose_g(self, g_values: Sequence[int]) -> ProcessorId:
+        """Apply the linear form to pre-computed ``g`` values (Section 5)."""
+        total = sum(c * b for c, b in zip(self.coefficients, g_values))
+        if self.modulus is not None:
+            total %= self.modulus
+        return total
+
+    def describe(self) -> str:
+        terms = " + ".join(f"{c}*g(a{k + 1})"
+                           for k, c in enumerate(self.coefficients))
+        if self.modulus is not None:
+            terms = f"({terms}) mod {self.modulus}"
+        return terms
+
+
+class PartitionDiscriminator(Discriminator):
+    """A discriminating function *defined by* a horizontal partition.
+
+    Example 2's ``h(a, b) = i`` iff ``(a, b) ∈ par^i``: the arbitrary
+    fragmentation of the base relation is itself the discriminator.
+    Value tuples outside the partition belong to no processor; they can
+    never satisfy the processing constraint anywhere, which is harmless
+    because such tuples cannot match the fragmented base atom either.
+    """
+
+    def __init__(self, fragmentation: ArbitraryFragmentation,
+                 processors: Sequence[ProcessorId]) -> None:
+        super().__init__(processors)
+        self.fragmentation = fragmentation
+
+    def __call__(self, values: Values) -> ProcessorId:
+        owner = self.fragmentation.assignment.get(tuple(values))
+        if owner is None:
+            raise RoutingError(f"values {values!r} belong to no fragment")
+        return owner
+
+    def contains(self, values: Values) -> bool:
+        """True iff some fragment owns ``values``."""
+        return tuple(values) in self.fragmentation.assignment
+
+    def describe(self) -> str:
+        return "partition-defined (Example 2)"
+
+
+class ConstantDiscriminator(Discriminator):
+    """``h(values) = target`` for every tuple.
+
+    Section 6, property 1: when processor ``i`` uses ``h_i ≡ i`` it
+    keeps every generated tuple for self-processing, yielding the
+    communication-free (but redundant) scheme of Wolfson [18].
+    """
+
+    def __init__(self, processors: Sequence[ProcessorId],
+                 target: ProcessorId) -> None:
+        super().__init__(processors)
+        if target not in self.processors:
+            raise RoutingError(f"target {target!r} not in processor set")
+        self.target = target
+
+    def __call__(self, values: Values) -> ProcessorId:
+        return self.target
+
+    def describe(self) -> str:
+        return f"constant {self.target!r}"
+
+
+class DiscriminatorFamily:
+    """A per-processor family ``{h_i}`` (paper, Section 6).
+
+    The non-redundant scheme of Section 3 is the special case where
+    every member is the same function.
+    """
+
+    def member(self, processor: ProcessorId) -> Discriminator:
+        """Return ``h_i`` for processor ``i``."""
+        raise NotImplementedError
+
+    def is_uniform(self) -> bool:
+        """True iff every member is the same function (non-redundant case)."""
+        return False
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class UniformFamily(DiscriminatorFamily):
+    """Every processor uses the same discriminating function ``h``."""
+
+    def __init__(self, discriminator: Discriminator) -> None:
+        self.discriminator = discriminator
+
+    def member(self, processor: ProcessorId) -> Discriminator:
+        return self.discriminator
+
+    def is_uniform(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"uniform {self.discriminator.describe()}"
+
+
+class _RetentionDiscriminator(Discriminator):
+    """Keep a deterministic fraction of tuples local, route the rest."""
+
+    def __init__(self, owner: ProcessorId, base: Discriminator,
+                 keep_fraction: float, salt: int) -> None:
+        super().__init__(base.processors)
+        self.owner = owner
+        self.base = base
+        self.keep_fraction = keep_fraction
+        self.salt = salt
+
+    def __call__(self, values: Values) -> ProcessorId:
+        draw = (stable_hash(values, self.salt) % 10_000) / 10_000.0
+        if draw < self.keep_fraction:
+            return self.owner
+        return self.base(values)
+
+    def describe(self) -> str:
+        return (f"keep {self.keep_fraction:.0%} at {self.owner!r}, "
+                f"else {self.base.describe()}")
+
+
+class LocalRetentionFamily(DiscriminatorFamily):
+    """The trade-off family of Section 6.
+
+    Processor ``i`` keeps a (deterministic, hash-chosen) fraction of its
+    generated tuples for self-processing and routes the remainder by a
+    shared base discriminator.  ``keep_fraction = 0`` reproduces the
+    non-redundant scheme; ``keep_fraction = 1`` reproduces Wolfson's
+    communication-free scheme.  Intermediate values trace the
+    redundancy/communication spectrum the paper describes.
+    """
+
+    def __init__(self, base: Discriminator, keep_fraction: float,
+                 salt: int = 0) -> None:
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise RoutingError("keep_fraction must be within [0, 1]")
+        self.base = base
+        self.keep_fraction = keep_fraction
+        self.salt = salt
+
+    def member(self, processor: ProcessorId) -> Discriminator:
+        if self.keep_fraction == 0.0:
+            return self.base
+        return _RetentionDiscriminator(processor, self.base,
+                                       self.keep_fraction, self.salt)
+
+    def is_uniform(self) -> bool:
+        return self.keep_fraction == 0.0
+
+    def describe(self) -> str:
+        return (f"local retention {self.keep_fraction:.0%} over "
+                f"{self.base.describe()}")

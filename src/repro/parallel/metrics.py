@@ -1,0 +1,169 @@
+"""Execution metrics of a parallel run.
+
+The paper's results are claims about counts: firings per processor
+(redundancy, Definition 1), tuples on channels (communication), which
+channels are ever used (network connectivity, Section 5), and the
+replication of base relations (fragmentation).  :class:`ParallelMetrics`
+collects all of them, plus a simple per-round cost model for makespan
+and speedup estimates — the quantitative study the paper defers to
+future work (Section 8).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+__all__ = ["CostModel", "ParallelMetrics"]
+
+ProcessorId = Hashable
+Channel = Tuple[ProcessorId, ProcessorId]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights of the makespan model.
+
+    A round costs ``max_i(work_i + send_cost · sent_i + recv_cost ·
+    received_i)`` and the makespan is the sum over rounds.  Work units
+    are engine operations (firings + index probes), so sequential and
+    parallel runs are measured in the same currency.
+
+    Attributes:
+        send_cost: work-units charged per tuple put on a remote channel.
+        recv_cost: work-units charged per tuple taken off a channel.
+        round_overhead: fixed per-round cost (barrier/synchronisation).
+    """
+
+    send_cost: float = 1.0
+    recv_cost: float = 1.0
+    round_overhead: float = 0.0
+
+
+@dataclass
+class ParallelMetrics:
+    """Counters observed during one parallel execution."""
+
+    scheme: str
+    processors: Tuple[ProcessorId, ...]
+    rounds: int = 0
+    firings: Dict[ProcessorId, int] = field(default_factory=dict)
+    probes: Dict[ProcessorId, int] = field(default_factory=dict)
+    sent: Counter = field(default_factory=Counter)            # (i, j) -> tuples, i != j
+    self_delivered: Counter = field(default_factory=Counter)  # i -> tuples
+    received: Counter = field(default_factory=Counter)        # i -> tuples accepted
+    duplicates_dropped: Counter = field(default_factory=Counter)
+    broadcast_tuples: int = 0
+    pooled_tuples: int = 0
+    control_messages: int = 0
+    detection_rounds: int = 0
+    per_round_work: List[Dict[ProcessorId, float]] = field(default_factory=list)
+    per_round_sent: List[Dict[ProcessorId, int]] = field(default_factory=list)
+    per_round_received: List[Dict[ProcessorId, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def total_firings(self) -> int:
+        """Successful ground substitutions summed over all processors."""
+        return sum(self.firings.values())
+
+    def total_work(self) -> float:
+        """Firings plus probes summed over all processors."""
+        return sum(self.firings.values()) + sum(self.probes.values())
+
+    def total_sent(self) -> int:
+        """Tuples crossing processor boundaries (self-deliveries excluded)."""
+        return sum(self.sent.values())
+
+    def total_self_delivered(self) -> int:
+        """Tuples a processor routed to itself (free of communication)."""
+        return sum(self.self_delivered.values())
+
+    def used_channels(self) -> Set[Channel]:
+        """The remote channels that carried at least one tuple."""
+        return {channel for channel, count in self.sent.items() if count > 0}
+
+    def redundancy_vs(self, sequential_firings: int) -> int:
+        """Extra firings relative to a sequential semi-naive run.
+
+        Theorems 2 and 6 assert this is ``<= 0`` for shared-``h``
+        schemes; Section 6's retention schemes trade it against
+        communication.
+        """
+        return self.total_firings() - sequential_firings
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def makespan(self, cost: Optional[CostModel] = None) -> float:
+        """Modelled parallel completion time (work units)."""
+        cost = cost if cost is not None else CostModel()
+        total = 0.0
+        for index in range(len(self.per_round_work)):
+            work = self.per_round_work[index]
+            sent = (self.per_round_sent[index]
+                    if index < len(self.per_round_sent) else {})
+            received = (self.per_round_received[index]
+                        if index < len(self.per_round_received) else {})
+            peak = 0.0
+            for proc in self.processors:
+                load = (work.get(proc, 0.0)
+                        + cost.send_cost * sent.get(proc, 0)
+                        + cost.recv_cost * received.get(proc, 0))
+                peak = max(peak, load)
+            total += peak + cost.round_overhead
+        return total
+
+    def speedup_vs(self, sequential_work: float,
+                   cost: Optional[CostModel] = None) -> float:
+        """Sequential work divided by modelled parallel makespan."""
+        span = self.makespan(cost)
+        if span == 0:
+            return float("inf") if sequential_work > 0 else 1.0
+        return sequential_work / span
+
+    def load_balance(self) -> float:
+        """Jain fairness index of per-processor work in [1/N, 1].
+
+        1.0 means perfectly even work; 1/N means one processor did
+        everything.
+        """
+        loads = [self.firings.get(p, 0) + self.probes.get(p, 0)
+                 for p in self.processors]
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        squares = sum(load * load for load in loads)
+        return (total * total) / (len(loads) * squares)
+
+    def utilisation(self) -> float:
+        """Mean fraction of each round's peak work actually performed."""
+        if not self.per_round_work:
+            return 1.0
+        ratios = []
+        for work in self.per_round_work:
+            peak = max((work.get(p, 0.0) for p in self.processors), default=0.0)
+            if peak == 0:
+                continue
+            mean = sum(work.get(p, 0.0) for p in self.processors) / len(self.processors)
+            ratios.append(mean / peak)
+        return sum(ratios) / len(ratios) if ratios else 1.0
+
+    def summary(self) -> Dict[str, object]:
+        """A flat summary dict for tables and reports."""
+        return {
+            "scheme": self.scheme,
+            "processors": len(self.processors),
+            "rounds": self.rounds,
+            "firings": self.total_firings(),
+            "work": self.total_work(),
+            "sent": self.total_sent(),
+            "self_delivered": self.total_self_delivered(),
+            "broadcasts": self.broadcast_tuples,
+            "dup_dropped": sum(self.duplicates_dropped.values()),
+            "pooled": self.pooled_tuples,
+            "channels_used": len(self.used_channels()),
+            "load_balance": round(self.load_balance(), 4),
+        }

@@ -1,0 +1,6 @@
+"""Real multiprocessing execution of rewritten programs."""
+
+from .protocol import WorkerStats
+from .runner import MPResult, run_multiprocessing
+
+__all__ = ["MPResult", "WorkerStats", "run_multiprocessing"]

@@ -1,0 +1,57 @@
+"""Wire protocol of the multiprocessing executor.
+
+Messages are plain picklable tuples; the first element is a tag:
+
+* ``("data", sender, predicate, facts)`` — worker → worker, tuples on a
+  channel (the paper's ``t_ij`` predicates).
+* ``("probe", seq)`` — coordinator → worker, a quiescence probe.
+* ``("ack", processor, seq, sent, received, activity)`` — worker →
+  coordinator, counters at probe time.  ``activity`` is a monotone
+  counter of messages ingested and emitted; two identical consecutive
+  snapshots with balanced global counters mean quiescence.
+* ``("stop",)`` — coordinator → worker, terminate and report.
+* ``("result", processor, outputs, stats)`` — worker → coordinator,
+  final output relations and counters.
+* ``("error", processor, text)`` — worker → coordinator, crash report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+__all__ = [
+    "DATA",
+    "PROBE",
+    "ACK",
+    "STOP",
+    "RESULT",
+    "ERROR",
+    "WorkerStats",
+]
+
+DATA = "data"
+PROBE = "probe"
+ACK = "ack"
+STOP = "stop"
+RESULT = "result"
+ERROR = "error"
+
+
+class WorkerStats:
+    """Picklable snapshot of one worker's counters."""
+
+    __slots__ = ("firings", "probes", "iterations", "sent_by_target",
+                 "received", "duplicates_dropped", "self_delivered")
+
+    def __init__(self) -> None:
+        self.firings: int = 0
+        self.probes: int = 0
+        self.iterations: int = 0
+        self.sent_by_target: Dict[Hashable, int] = {}
+        self.received: int = 0
+        self.duplicates_dropped: int = 0
+        self.self_delivered: int = 0
+
+    def total_sent(self) -> int:
+        """Tuples this worker put on remote channels."""
+        return sum(self.sent_by_target.values())

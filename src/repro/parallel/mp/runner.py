@@ -1,0 +1,191 @@
+"""Coordinator of the multiprocessing executor.
+
+Spawns one OS process per processor of a rewritten program, wires a
+queue per channel, and detects global quiescence with a counting
+double-probe (Mattern-style): two consecutive probe waves in which no
+worker's activity counter moved and the global sent/received counters
+balance imply that no data message can be in flight, i.e. the paper's
+termination condition — all processors idle and all channels empty.
+
+Python's GIL makes *thread*-level parallelism useless for this
+workload; separate processes sidestep it, at the cost of pickling
+tuples across queues.  The executor demonstrates that the rewritten
+programs really run asynchronously and terminate; throughput studies
+are the simulator's job.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ...errors import ExecutionError
+from ...facts.database import Database
+from ...facts.relation import Relation
+from ..metrics import ParallelMetrics
+from ..naming import processor_tag
+from ..plans import ParallelProgram
+from .protocol import ACK, ERROR, PROBE, RESULT, STOP, WorkerStats
+from .worker import worker_main
+
+__all__ = ["MPResult", "run_multiprocessing"]
+
+ProcessorId = Hashable
+
+
+@dataclass
+class MPResult:
+    """Outcome of a multiprocessing execution.
+
+    Attributes:
+        output: pooled answer, one relation per derived predicate.
+        metrics: counters comparable with the simulator's (per-round
+            fields stay empty — real execution has no global rounds).
+        stats: raw per-worker counter snapshots.
+        wall_seconds: end-to-end wall-clock time including process
+            start-up and termination detection.
+    """
+
+    output: Database
+    metrics: ParallelMetrics
+    stats: Dict[ProcessorId, WorkerStats]
+    wall_seconds: float
+
+    def relation(self, predicate: str) -> Relation:
+        """Convenience accessor for a pooled output relation."""
+        return self.output.relation(predicate)
+
+
+def _picklable_local(program: ParallelProgram, processor: ProcessorId,
+                     database: Database) -> Dict[str, Tuple[int, List[tuple]]]:
+    local = program.local_database(processor, database)
+    return {rel.name: (rel.arity, sorted(rel, key=repr)) for rel in local}
+
+
+def run_multiprocessing(program: ParallelProgram, database: Database,
+                        probe_interval: float = 0.02,
+                        timeout: float = 120.0,
+                        start_method: Optional[str] = None) -> MPResult:
+    """Execute a rewritten program on real OS processes.
+
+    Args:
+        program: the rewritten program.
+        database: the global extensional input.
+        probe_interval: seconds between quiescence probe waves.
+        timeout: overall wall-clock limit.
+        start_method: multiprocessing start method (default: ``fork``
+            when available, else the platform default).
+
+    Raises:
+        ExecutionError: on worker crash or timeout.
+    """
+    started = time.perf_counter()
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else methods[0]
+    context = multiprocessing.get_context(start_method)
+
+    order = sorted(program.processors, key=processor_tag)
+    inboxes = {proc: context.Queue() for proc in order}
+    coordinator_queue = context.Queue()
+
+    workers = []
+    try:
+        for proc in order:
+            process = context.Process(
+                target=worker_main,
+                args=(program.program_for(proc),
+                      _picklable_local(program, proc, database),
+                      inboxes[proc], inboxes, coordinator_queue),
+                daemon=True)
+            process.start()
+            workers.append(process)
+
+        sequence = 0
+        probes_sent = 0
+        previous: Optional[Dict[ProcessorId, Tuple[int, int, int]]] = None
+        deadline = started + timeout
+        while True:
+            if time.perf_counter() > deadline:
+                raise ExecutionError(
+                    f"no quiescence within {timeout} seconds")
+            sequence += 1
+            for proc in order:
+                inboxes[proc].put((PROBE, sequence))
+                probes_sent += 1
+            snapshot: Dict[ProcessorId, Tuple[int, int, int]] = {}
+            while len(snapshot) < len(order):
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise ExecutionError(
+                        f"no quiescence within {timeout} seconds")
+                message = coordinator_queue.get(timeout=remaining)
+                tag = message[0]
+                if tag == ERROR:
+                    raise ExecutionError(
+                        f"worker {message[1]!r} crashed:\n{message[2]}")
+                if tag == ACK and message[2] == sequence:
+                    _, proc, _seq, sent, received, activity = message
+                    snapshot[proc] = (sent, received, activity)
+            total_sent = sum(s for s, _, _ in snapshot.values())
+            total_received = sum(r for _, r, _ in snapshot.values())
+            balanced = total_sent == total_received
+            unchanged = previous is not None and all(
+                snapshot[p][2] == previous[p][2] for p in order)
+            if balanced and unchanged:
+                break
+            previous = snapshot
+            time.sleep(probe_interval)
+
+        for proc in order:
+            inboxes[proc].put((STOP,))
+        outputs: Dict[ProcessorId, Dict[str, List[tuple]]] = {}
+        stats: Dict[ProcessorId, WorkerStats] = {}
+        while len(outputs) < len(order):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise ExecutionError(
+                    f"workers did not report within {timeout} seconds")
+            message = coordinator_queue.get(timeout=remaining)
+            tag = message[0]
+            if tag == ERROR:
+                raise ExecutionError(
+                    f"worker {message[1]!r} crashed:\n{message[2]}")
+            if tag == RESULT:
+                _, proc, worker_outputs, worker_stats = message
+                outputs[proc] = worker_outputs
+                stats[proc] = worker_stats
+        for process in workers:
+            process.join(timeout=5.0)
+    finally:
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+
+    metrics = ParallelMetrics(scheme=program.scheme + "+mp",
+                              processors=tuple(order))
+    metrics.control_messages = probes_sent
+    for proc in order:
+        worker_stats = stats[proc]
+        metrics.firings[proc] = worker_stats.firings
+        metrics.probes[proc] = worker_stats.probes
+        metrics.received[proc] = worker_stats.received
+        metrics.duplicates_dropped[proc] = worker_stats.duplicates_dropped
+        metrics.self_delivered[proc] = worker_stats.self_delivered
+        for target, count in worker_stats.sent_by_target.items():
+            metrics.sent[(proc, target)] += count
+
+    output = Database()
+    for predicate in program.derived:
+        arity = program.program_for(order[0]).arities[predicate]
+        pooled = Relation(predicate, arity)
+        for proc in order:
+            facts = outputs[proc].get(predicate, [])
+            pooled.update(facts)
+            metrics.pooled_tuples += len(facts)
+        output.attach(pooled)
+
+    return MPResult(output=output, metrics=metrics, stats=stats,
+                    wall_seconds=time.perf_counter() - started)

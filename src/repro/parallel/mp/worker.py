@@ -1,0 +1,135 @@
+"""The worker process of the multiprocessing executor.
+
+Each worker owns one :class:`~repro.parallel.processor.ProcessorRuntime`
+and a queue per peer.  It drains its inbox, steps the semi-naive loop on
+whatever arrived (receives are asynchronous — the paper's stipulation),
+pushes new tuples straight onto the destination queues, and answers the
+coordinator's quiescence probes with its counters.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import traceback
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+from ...facts.database import Database
+from ...facts.relation import Relation
+from ..plans import ProcessorProgram
+from ..processor import ProcessorRuntime
+from .protocol import ACK, DATA, ERROR, PROBE, RESULT, STOP, WorkerStats
+
+__all__ = ["worker_main"]
+
+ProcessorId = Hashable
+_POLL_SECONDS = 0.005
+
+
+def _rebuild_database(relations: Mapping[str, Tuple[int, List[tuple]]]) -> Database:
+    """Reconstruct a local database from its picklable form."""
+    database = Database()
+    for name, (arity, facts) in relations.items():
+        database.attach(Relation(name, arity, facts))
+    return database
+
+
+def worker_main(program: ProcessorProgram,
+                local_relations: Mapping[str, Tuple[int, List[tuple]]],
+                inbox, peer_queues: Mapping[ProcessorId, object],
+                coordinator_queue) -> None:
+    """Entry point of a worker process.
+
+    Args:
+        program: this processor's rewritten program.
+        local_relations: picklable base fragments ``{name: (arity, facts)}``.
+        inbox: this worker's receive queue.
+        peer_queues: send queues of every processor (self included).
+        coordinator_queue: queue for acks/results to the coordinator.
+    """
+    me = program.processor
+    stats = WorkerStats()
+    activity = 0
+    try:
+        runtime = ProcessorRuntime(program, _rebuild_database(local_relations))
+
+        def route(emissions: List[Tuple[str, tuple]]) -> None:
+            nonlocal activity
+            batches: Dict[ProcessorId, List[Tuple[str, tuple]]] = {}
+            for predicate, fact in emissions:
+                targets = []
+                seen = set()
+                for rte in program.routes_for(predicate):
+                    for target in rte.targets(fact):
+                        if target not in seen:
+                            seen.add(target)
+                            targets.append(target)
+                for target in targets:
+                    if target == me:
+                        runtime.receive(predicate, [fact], remote=False)
+                        stats.self_delivered += 1
+                        activity += 1
+                    else:
+                        batches.setdefault(target, []).append((predicate, fact))
+            for target, batch in batches.items():
+                by_pred: Dict[str, List[tuple]] = {}
+                for predicate, fact in batch:
+                    by_pred.setdefault(predicate, []).append(fact)
+                for predicate, facts in by_pred.items():
+                    peer_queues[target].put((DATA, me, predicate, facts))
+                    stats.sent_by_target[target] = (
+                        stats.sent_by_target.get(target, 0) + len(facts))
+                    activity += len(facts)
+
+        route(runtime.initialize())
+        running = True
+        while running:
+            # Drain everything currently queued, blocking briefly when idle.
+            drained_any = False
+            while True:
+                try:
+                    message = inbox.get(timeout=0.0 if drained_any
+                                        else _POLL_SECONDS)
+                except queue_module.Empty:
+                    break
+                tag = message[0]
+                if tag == DATA:
+                    _, _sender, predicate, facts = message
+                    runtime.receive(predicate, facts, remote=True)
+                    stats.received += len(facts)
+                    activity += len(facts)
+                    drained_any = True
+                elif tag == PROBE:
+                    _, seq = message
+                    stats.firings = runtime.counters.total_firings()
+                    stats.probes = runtime.counters.probes
+                    stats.iterations = runtime.counters.iterations
+                    stats.duplicates_dropped = runtime.duplicates_dropped
+                    coordinator_queue.put(
+                        (ACK, me, seq, stats.total_sent(),
+                         stats.received, activity))
+                elif tag == STOP:
+                    running = False
+                    break
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unknown message tag {tag!r}")
+            if not running:
+                break
+            # Step as long as staged input remains (self-deliveries from
+            # route() can immediately enable further steps).
+            while runtime.has_pending_input():
+                emissions = runtime.step()
+                if emissions:
+                    activity += len(emissions)
+                route(emissions)
+
+        stats.firings = runtime.counters.total_firings()
+        stats.probes = runtime.counters.probes
+        stats.iterations = runtime.counters.iterations
+        stats.duplicates_dropped = runtime.duplicates_dropped
+        outputs = {
+            pred: sorted(runtime.output_relation(pred), key=repr)
+            for pred in program.out_names
+        }
+        coordinator_queue.put((RESULT, me, outputs, stats))
+    except Exception:  # pragma: no cover - crash path
+        coordinator_queue.put((ERROR, me, traceback.format_exc()))

@@ -1,0 +1,179 @@
+"""Per-processor runtime: the semi-naive loop of one ``Q_i``.
+
+A :class:`ProcessorRuntime` owns the local database of one processor —
+its base fragments, the ``t_in``/``t_out`` relations and their
+delta/prev companions — and exposes the two operations the abstract
+architecture of Section 3 needs: *initialize* (fire the initialization
+rules once) and *step* (ingest received tuples, fire the processing
+rules semi-naively on the new ones, and emit the newly generated output
+tuples for the sending rules to route).
+
+Receives are asynchronous (the paper stresses this): a step simply
+consumes whatever has been staged so far and never waits for any
+particular sender.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..datalog.rule import Rule
+from ..engine.counters import EvalCounters
+from ..engine.planner import compile_plan
+from ..engine.seminaive import DELTA_SUFFIX, PREV_SUFFIX, delta_variants
+from ..facts.database import Database
+from ..facts.relation import Fact, Relation
+from .plans import ProcessorProgram
+
+__all__ = ["ProcessorRuntime"]
+
+ProcessorId = Hashable
+Emission = Tuple[str, Fact]  # (derived predicate, tuple)
+
+
+class ProcessorRuntime:
+    """Executable state of one processor.
+
+    Args:
+        program: the processor's rewritten program.
+        local_base: the processor's base fragments (consumed; the
+            runtime takes ownership of the database).
+        counters: optional externally owned counters.
+        reorder: allow the planner's greedy body reordering.
+    """
+
+    def __init__(self, program: ProcessorProgram, local_base: Database,
+                 counters: Optional[EvalCounters] = None,
+                 reorder: bool = True) -> None:
+        self.program = program
+        self.counters = counters if counters is not None else EvalCounters()
+        self.working = local_base
+        self.duplicates_dropped = 0
+        self.received_total = 0
+        self.received_remote = 0
+
+        self._out_to_pred: Dict[str, str] = {}
+        self._in_full: Dict[str, Relation] = {}
+        self._in_delta: Dict[str, Relation] = {}
+        self._in_prev: Dict[str, Relation] = {}
+        self._out: Dict[str, Relation] = {}
+        self._staged: Dict[str, List[Fact]] = {}
+
+        for pred, iname in program.in_names.items():
+            arity = program.arities[pred]
+            self._in_full[pred] = self.working.declare(iname, arity)
+            self._in_delta[pred] = self.working.declare(iname + DELTA_SUFFIX, arity)
+            self._in_prev[pred] = self.working.declare(iname + PREV_SUFFIX, arity)
+            self._staged[pred] = []
+        for pred, oname in program.out_names.items():
+            self._out[pred] = self.working.declare(oname, program.arities[pred])
+            self._out_to_pred[oname] = pred
+
+        self._init_plans = [compile_plan(rule, label=_plain_label(rule),
+                                         reorder=reorder)
+                            for rule in program.init_rules]
+        in_names = set(program.in_names.values())
+        self._variant_plans = []
+        for rule in program.processing_rules:
+            for variant in delta_variants(rule, in_names):
+                plan = compile_plan(variant.rule, label=_plain_label(rule),
+                                    reorder=reorder,
+                                    pinned_first=variant.delta_position)
+                self._variant_plans.append(plan)
+
+    # ------------------------------------------------------------------
+    # The five execution steps (operational form)
+    # ------------------------------------------------------------------
+    def initialize(self) -> List[Emission]:
+        """Fire the initialization rules once; return new output tuples."""
+        emissions: List[Emission] = []
+        for plan in self._init_plans:
+            pred = self._out_to_pred[plan.rule.head.predicate]
+            out = self._out[pred]
+            for fact in plan.execute(self.working, self.counters):
+                if out.add(fact):
+                    self.counters.record_new(plan.label)
+                    emissions.append((pred, fact))
+        return emissions
+
+    def receive(self, predicate: str, facts: Sequence[Fact],
+                remote: bool = True) -> None:
+        """Stage tuples arriving on this processor's channels.
+
+        Args:
+            predicate: the derived predicate the tuples belong to.
+            facts: the tuples.
+            remote: False for self-deliveries, which cost no
+                communication (Example 1's zero-communication schemes
+                deliver everything this way).
+        """
+        self._staged[predicate].extend(facts)
+        self.received_total += len(facts)
+        if remote:
+            self.received_remote += len(facts)
+
+    def has_pending_input(self) -> bool:
+        """True iff staged tuples await the next step."""
+        return any(self._staged.values())
+
+    def step(self) -> List[Emission]:
+        """Run one semi-naive round over the staged input.
+
+        Returns the newly generated output tuples (for routing).  With
+        no staged input the processor is idle and emits nothing.
+        """
+        # Close the previous round: prev catches up with full.
+        for pred in self._in_full:
+            self._in_prev[pred].update(self._in_delta[pred])
+            self._in_delta[pred].clear()
+
+        # Ingest: new tuples feed the deltas, duplicates are discarded
+        # by the difference operation of the paper's receiving step.
+        fired = False
+        for pred, staged in self._staged.items():
+            if not staged:
+                continue
+            full = self._in_full[pred]
+            delta = self._in_delta[pred]
+            for fact in staged:
+                if full.add(fact):
+                    delta.add(fact)
+                else:
+                    self.duplicates_dropped += 1
+            staged.clear()
+            if delta:
+                fired = True
+        if not fired:
+            return []
+
+        self.counters.iterations += 1
+        emissions: List[Emission] = []
+        for plan in self._variant_plans:
+            pred = self._out_to_pred[plan.rule.head.predicate]
+            out = self._out[pred]
+            for fact in plan.execute(self.working, self.counters):
+                if out.add(fact):
+                    self.counters.record_new(plan.label)
+                    emissions.append((pred, fact))
+        return emissions
+
+    def output_relation(self, predicate: str) -> Relation:
+        """The local ``t_out`` relation of ``predicate`` (final pooling)."""
+        return self._out[predicate]
+
+    def output_size(self) -> int:
+        """Total tuples in all local output relations."""
+        return sum(len(rel) for rel in self._out.values())
+
+    def work_done(self) -> float:
+        """Engine operations performed so far (firings + probes)."""
+        return self.counters.total_firings() + self.counters.probes
+
+    def __repr__(self) -> str:
+        return (f"ProcessorRuntime({self.program.processor!r}, "
+                f"out={self.output_size()}, {self.counters!r})")
+
+
+def _plain_label(rule: Rule) -> str:
+    """A stable counter label for a rewritten rule."""
+    return str(rule)

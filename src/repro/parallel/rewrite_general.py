@@ -1,0 +1,286 @@
+"""The general parallelisation rewrite for all Datalog programs (Section 7).
+
+Every rule ``r_k`` of the source program gets its own discriminating
+sequence ``v(r_k)`` and discriminating function ``h_k``.  The program
+``T_i`` executed at processor ``i`` consists of
+
+* *processing* rules ``A_out^i :- B_in^i, ..., C_in^i, h_k(v(r_k)) = i``
+  (derived body atoms read the local ``_in`` relations, base atoms read
+  their per-rule fragment when every variable of ``v(r_k)`` occurs in
+  the atom);
+* *sending* rules ``C_ij :- C_out^i, h_k(v(r_k)) = j`` for every derived
+  atom ``C`` in the body of ``r_k`` — evaluable point-to-point when all
+  of ``v(r_k)`` occurs in ``C``, a broadcast otherwise;
+* *receiving* and *final pooling* rules as in Section 3.
+
+Theorem 5 (correctness) and Theorem 6 (non-redundancy of successful
+ground substitutions) are property-tested against this construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..datalog.atom import Atom
+from ..datalog.program import Program
+from ..datalog.rule import Rule
+from ..datalog.term import Variable
+from ..errors import RewriteError
+from ..facts.fragments import FragmentationPlan
+from .constraints import HashConstraint
+from .discriminating import Discriminator, HashDiscriminator, PartitionDiscriminator
+from .naming import channel_name, fragment_name, in_name, out_name
+from .plans import ARBITRARY, HASH, SHARED, FragmentSpec, ParallelProgram, ProcessorProgram
+from .rewrite_linear import fresh_variables
+from .routing import Route, route_positions
+
+__all__ = ["RuleSpec", "auto_specs", "rewrite_general"]
+
+ProcessorId = Hashable
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Discriminating choice for one rule.
+
+    Attributes:
+        sequence: the discriminating sequence ``v(r_k)``; every variable
+            must occur in the rule body.  May be empty, in which case
+            the rule fires at the single processor ``h(())``.
+        discriminator: the discriminating function ``h_k``.
+    """
+
+    sequence: Tuple[Variable, ...]
+    discriminator: Discriminator
+
+
+def auto_specs(program: Program, processors: Sequence[ProcessorId],
+               salt: int = 0) -> Dict[int, RuleSpec]:
+    """A sensible default choice of per-rule specs.
+
+    For each proper rule: discriminate on the variables of the first
+    derived body atom (the recursive input whose tuples are routed) or,
+    for non-recursive rules, on the head variables; use one shared hash
+    discriminator throughout, which keeps the whole rewriting
+    non-redundant (Theorem 6).
+    """
+    processors = tuple(processors)
+    shared_h = HashDiscriminator(processors, salt=salt)
+    derived = set(program.derived_predicates)
+    specs: Dict[int, RuleSpec] = {}
+    for index, rule in enumerate(program.proper_rules()):
+        derived_atoms = [a for a in rule.body if a.predicate in derived]
+        if derived_atoms:
+            sequence = derived_atoms[0].variables()
+        else:
+            body_vars = set(rule.body_variables())
+            sequence = tuple(v for v in rule.head_variables() if v in body_vars)
+        specs[index] = RuleSpec(sequence=tuple(sequence), discriminator=shared_h)
+    return specs
+
+
+def rewrite_general(program: Program, processors: Sequence[ProcessorId],
+                    specs: Optional[Mapping[int, RuleSpec]] = None,
+                    scheme: str = "section7") -> ParallelProgram:
+    """Rewrite an arbitrary Datalog program for parallel execution.
+
+    Args:
+        program: any validated Datalog program (non-linear and multi-rule
+            programs included).
+        processors: the processor ids ``P``.
+        specs: per-rule (index into ``program.proper_rules()``) choice of
+            discriminating sequence and function; defaults to
+            :func:`auto_specs`.
+        scheme: label used in reports.
+
+    Raises:
+        RewriteError: on an invalid spec (unknown rule index or sequence
+            variable not in the rule body).
+    """
+    processors = tuple(processors)
+    if not processors:
+        raise RewriteError("processor set must be non-empty")
+    rules = program.proper_rules()
+    if specs is None:
+        specs = auto_specs(program, processors)
+    for index in specs:
+        if not 0 <= index < len(rules):
+            raise RewriteError(f"spec for unknown rule index {index}")
+    for index, rule in enumerate(rules):
+        if index not in specs:
+            raise RewriteError(f"missing spec for rule {index}: {rule}")
+        body_vars = set(rule.body_variables())
+        for variable in specs[index].sequence:
+            if variable not in body_vars:
+                raise RewriteError(
+                    f"discriminating variable {variable} of rule {index} "
+                    f"does not occur in the body of: {rule}")
+
+    derived = tuple(program.derived_predicates)
+    derived_set = set(derived)
+    arities = {pred: program.arity_of(pred) for pred in derived}
+
+    # ------------------------------------------------------------------
+    # Base fragments (per rule occurrence), with shared-wins cleanup:
+    # a predicate with any non-fragmentable occurrence is kept whole
+    # everywhere, since the full copy subsumes any fragment of it.
+    # ------------------------------------------------------------------
+    fragment_candidates: List[Tuple[FragmentSpec, int]] = []  # (spec, atom id)
+    shared_predicates: Set[str] = set()
+    atom_rename: Dict[int, str] = {}
+    for index, rule in enumerate(rules):
+        spec = specs[index]
+        for atom in rule.body:
+            if atom.predicate in derived_set:
+                continue
+            positions = (route_positions(spec.sequence, atom)
+                         if spec.sequence else None)
+            if positions is None:
+                shared_predicates.add(atom.predicate)
+                atom_rename[id(atom)] = atom.predicate
+            else:
+                kind = (ARBITRARY
+                        if isinstance(spec.discriminator, PartitionDiscriminator)
+                        else HASH)
+                local = fragment_name(atom.predicate, index)
+                fragment_candidates.append((FragmentSpec(
+                    predicate=atom.predicate, arity=atom.arity,
+                    local_name=local, kind=kind, positions=positions,
+                    discriminator=spec.discriminator), id(atom)))
+
+    fragments: List[FragmentSpec] = []
+    seen_fragment_names: Set[str] = set()
+    requirements: Dict[str, str] = {}
+    notes: Dict[str, str] = {}
+    for spec_obj, atom_id in fragment_candidates:
+        if spec_obj.predicate in shared_predicates:
+            atom_rename[atom_id] = spec_obj.predicate
+            notes[spec_obj.predicate] = (
+                "some occurrences are fragmentable, others not")
+        else:
+            atom_rename[atom_id] = spec_obj.local_name
+            if spec_obj.local_name not in seen_fragment_names:
+                seen_fragment_names.add(spec_obj.local_name)
+                fragments.append(spec_obj)
+            requirements[spec_obj.predicate] = (
+                "arbitrary-partition" if spec_obj.kind == ARBITRARY
+                else "hash-partitioned")
+    for predicate in shared_predicates:
+        arity = program.arity_of(predicate)
+        fragments.append(FragmentSpec(
+            predicate=predicate, arity=arity, local_name=predicate,
+            kind=SHARED))
+        requirements[predicate] = "shared"
+    fragmentation = FragmentationPlan(requirements=requirements, notes=notes)
+
+    # ------------------------------------------------------------------
+    # Routes (shared by all processors: Section 7 uses one h per rule).
+    # ------------------------------------------------------------------
+    routes: List[Route] = []
+    for index, rule in enumerate(rules):
+        spec = specs[index]
+        for atom in rule.body:
+            if atom.predicate in derived_set:
+                routes.append(Route(
+                    predicate=atom.predicate,
+                    pattern=atom,
+                    positions=route_positions(spec.sequence, atom),
+                    discriminator=spec.discriminator))
+    routes_tuple = tuple(routes)
+
+    # ------------------------------------------------------------------
+    # Per-processor operational programs.
+    # ------------------------------------------------------------------
+    in_names = {pred: in_name(pred) for pred in derived}
+    out_names = {pred: out_name(pred) for pred in derived}
+
+    programs: Dict[ProcessorId, ProcessorProgram] = {}
+    for proc in processors:
+        init_rules: List[Rule] = []
+        processing_rules: List[Rule] = []
+        for index, rule in enumerate(rules):
+            spec = specs[index]
+            body: List[Atom] = []
+            has_in = False
+            for atom in rule.body:
+                if atom.predicate in derived_set:
+                    body.append(atom.with_predicate(in_names[atom.predicate]))
+                    has_in = True
+                else:
+                    body.append(atom.with_predicate(atom_rename[id(atom)]))
+            rewritten = Rule(
+                rule.head.with_predicate(out_names[rule.head.predicate]),
+                body,
+                (HashConstraint(spec.discriminator, spec.sequence, proc),))
+            (processing_rules if has_in else init_rules).append(rewritten)
+        programs[proc] = ProcessorProgram(
+            processor=proc,
+            init_rules=tuple(init_rules),
+            processing_rules=tuple(processing_rules),
+            routes=routes_tuple,
+            in_names=in_names,
+            out_names=out_names,
+            arities=arities,
+        )
+
+    union = _build_union(program, processors, rules, specs, derived, arities)
+
+    return ParallelProgram(
+        source=program,
+        scheme=scheme,
+        processors=processors,
+        programs=programs,
+        fragments=tuple(fragments),
+        fragmentation=fragmentation,
+        union=union,
+        derived=derived,
+    )
+
+
+def _build_union(program: Program, processors: Tuple[ProcessorId, ...],
+                 rules: Tuple[Rule, ...], specs: Mapping[int, RuleSpec],
+                 derived: Tuple[str, ...],
+                 arities: Mapping[str, int]) -> Program:
+    """The literal ``T = ∪_i T_i`` of Section 7 (for the Theorem 5 test)."""
+    derived_set = set(derived)
+    avoid = {v.name for rule in rules for v in rule.variables()}
+    union_rules: List[Rule] = list(
+        Rule(head) for head in program.facts())
+
+    for i in processors:
+        for index, rule in enumerate(rules):
+            spec = specs[index]
+            # Processing: A_out^i :- B_in^i, ..., C_in^i, h(v(r)) = i.
+            body = [a.with_predicate(in_name(a.predicate, i))
+                    if a.predicate in derived_set else a
+                    for a in rule.body]
+            union_rules.append(Rule(
+                rule.head.with_predicate(out_name(rule.head.predicate, i)),
+                body,
+                (HashConstraint(spec.discriminator, spec.sequence, i),)))
+            # Sending: C_ij :- C_out^i, h(v(r)) = j per derived atom C.
+            for atom in rule.body:
+                if atom.predicate not in derived_set:
+                    continue
+                sendable = route_positions(spec.sequence, atom) is not None
+                for j in processors:
+                    constraints = ((HashConstraint(spec.discriminator,
+                                                   spec.sequence, j),)
+                                   if sendable else ())
+                    union_rules.append(Rule(
+                        atom.with_predicate(channel_name(atom.predicate, i, j)),
+                        (atom.with_predicate(out_name(atom.predicate, i)),),
+                        constraints))
+        for pred in derived:
+            pool_vars = fresh_variables(arities[pred], avoid)
+            # Receiving: t_in^i(W) :- t_ji(W).
+            for j in processors:
+                union_rules.append(Rule(
+                    Atom(in_name(pred, i), pool_vars),
+                    (Atom(channel_name(pred, j, i), pool_vars),)))
+            # Final pooling: t(W) :- t_out^i(W).
+            union_rules.append(Rule(
+                Atom(pred, pool_vars),
+                (Atom(out_name(pred, i), pool_vars),)))
+    return Program(union_rules)

@@ -1,0 +1,369 @@
+"""The linear-sirup parallelisation rewrite (paper, Sections 3 and 6).
+
+Given a linear sirup ``L`` with recursive rule ``r`` and exit rule ``e``,
+discriminating sequences ``v(r)``/``v(e)`` and discriminating functions,
+:func:`rewrite_linear_sirup` derives the per-processor programs ``Q_i``
+(Section 3: all processors share one ``h`` — semi-naive non-redundant),
+while :func:`rewrite_linear_family` derives the programs ``R_i``
+(Section 6: per-processor ``h_i``, the processing rule is unconstrained
+— trading redundancy for communication).
+
+Both produce a :class:`~.plans.ParallelProgram` carrying the
+operational per-processor programs, base-fragment specifications and
+the literal union program for the Theorem 1/4 equivalence tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..datalog.analysis import LinearSirup, as_linear_sirup
+from ..datalog.atom import Atom
+from ..datalog.program import Program
+from ..datalog.rule import Rule
+from ..datalog.term import Variable
+from ..errors import RewriteError
+from ..facts.fragments import FragmentationPlan
+from .constraints import HashConstraint
+from .discriminating import (
+    Discriminator,
+    DiscriminatorFamily,
+    PartitionDiscriminator,
+    UniformFamily,
+)
+from .naming import channel_name, fragment_name, in_name, out_name
+from .plans import ARBITRARY, HASH, SHARED, FragmentSpec, ParallelProgram, ProcessorProgram
+from .routing import Route, route_positions
+
+__all__ = ["rewrite_linear_sirup", "rewrite_linear_family", "fresh_variables"]
+
+ProcessorId = Hashable
+
+
+def fresh_variables(count: int, avoid: Set[str], stem: str = "W") -> Tuple[Variable, ...]:
+    """Return ``count`` variables named ``W1, W2, ...`` avoiding ``avoid``."""
+    fresh: List[Variable] = []
+    counter = 1
+    while len(fresh) < count:
+        name = f"{stem}{counter}"
+        counter += 1
+        if name in avoid:
+            continue
+        fresh.append(Variable(name))
+    return tuple(fresh)
+
+
+def _coerce_sirup(program: Union[Program, LinearSirup]) -> LinearSirup:
+    if isinstance(program, LinearSirup):
+        return program
+    return as_linear_sirup(program)
+
+
+def _validate_sequence(sequence: Sequence[Variable], rule: Rule,
+                       label: str) -> Tuple[Variable, ...]:
+    """Check a discriminating sequence against the paper's restrictions.
+
+    Every variable of the sequence must occur in at least one body atom
+    of the rule (Section 3: otherwise the selection cannot be pushed
+    into the joins and every processor repeats the full computation).
+    """
+    sequence = tuple(sequence)
+    body_vars = set(rule.body_variables())
+    for variable in sequence:
+        if variable not in body_vars:
+            raise RewriteError(
+                f"discriminating variable {variable} of {label} does not "
+                f"occur in the body of: {rule}")
+    return sequence
+
+
+def _fragment_positions(sequence: Sequence[Variable],
+                        atom: Atom) -> Optional[Tuple[int, ...]]:
+    """Positions of sequence variables in ``atom``; None if some are absent."""
+    return route_positions(sequence, atom)
+
+
+def _fragment_kind(discriminator: Discriminator) -> str:
+    if isinstance(discriminator, PartitionDiscriminator):
+        return ARBITRARY
+    return HASH
+
+
+def _rewrite(sirup: LinearSirup, processors: Sequence[ProcessorId],
+             v_r: Sequence[Variable], v_e: Sequence[Variable],
+             family: DiscriminatorFamily, h_prime: Discriminator,
+             constrain_processing: bool, fragment_bases: bool,
+             scheme: str) -> ParallelProgram:
+    processors = tuple(processors)
+    if not processors:
+        raise RewriteError("processor set must be non-empty")
+    if len(set(processors)) != len(processors):
+        raise RewriteError("processor ids must be distinct")
+
+    v_r = _validate_sequence(v_r, sirup.recursive_rule, "v(r)")
+    v_e = _validate_sequence(v_e, sirup.exit_rule, "v(e)")
+
+    predicate = sirup.predicate
+    recursive_atom = sirup.recursive_atom
+    in_local = in_name(predicate)
+    out_local = out_name(predicate)
+
+    # ------------------------------------------------------------------
+    # Base fragments.  Per base-atom occurrence: if every variable of the
+    # relevant discriminating sequence occurs in the atom, processor i
+    # only needs the fragment  b^i :- b, h(v) = i  (paper, Section 3);
+    # otherwise the occurrence needs the whole relation.
+    # ------------------------------------------------------------------
+    fragments: List[FragmentSpec] = []
+    shared_done: Set[str] = set()
+    atom_rename: Dict[int, str] = {}  # id(atom) -> local name
+    occurrence_kinds: Dict[str, List[str]] = {}
+    equivalent_specs: Dict[Tuple, str] = {}  # dedup identical fragments
+
+    def plan_base_atom(atom: Atom, sequence: Tuple[Variable, ...],
+                       discriminator: Discriminator, tag: int) -> None:
+        positions = _fragment_positions(sequence, atom) if sequence else None
+        fragmentable = fragment_bases and positions is not None and sequence
+        kinds = occurrence_kinds.setdefault(atom.predicate, [])
+        if fragmentable:
+            kind = _fragment_kind(discriminator)
+            # Two occurrences selecting the same positions with the same
+            # function store the same fragment once (e.g. Example 2's
+            # init and processing both read par^i).
+            key = (atom.predicate, positions, id(discriminator), kind)
+            local = equivalent_specs.get(key)
+            if local is None:
+                local = fragment_name(atom.predicate, tag)
+                equivalent_specs[key] = local
+                fragments.append(FragmentSpec(
+                    predicate=atom.predicate, arity=atom.arity,
+                    local_name=local, kind=kind, positions=positions,
+                    discriminator=discriminator))
+            atom_rename[id(atom)] = local
+            kinds.append(kind)
+        else:
+            if atom.predicate not in shared_done:
+                fragments.append(FragmentSpec(
+                    predicate=atom.predicate, arity=atom.arity,
+                    local_name=atom.predicate, kind=SHARED))
+                shared_done.add(atom.predicate)
+            atom_rename[id(atom)] = atom.predicate
+            kinds.append(SHARED)
+
+    h_shared = family.member(processors[0]) if family.is_uniform() else None
+    for tag, atom in enumerate(sirup.exit_rule.body):
+        plan_base_atom(atom, v_e, h_prime, tag)
+    offset = len(sirup.exit_rule.body)
+    for tag, atom in enumerate(sirup.base_atoms):
+        if h_shared is not None and constrain_processing:
+            plan_base_atom(atom, v_r, h_shared, offset + tag)
+        else:
+            # Per-processor h_i or unconstrained processing: the
+            # processing rule may fire on any substitution, so every
+            # base atom needs the whole relation (Section 6 scheme).
+            plan_base_atom(atom, (), h_prime, offset + tag)
+
+    # Shared wins: if any occurrence of a predicate needs the whole
+    # relation, the full copy subsumes every fragment of it, so drop the
+    # fragments and let all occurrences read the shared copy.
+    shared_predicates = {s.predicate for s in fragments if s.kind == SHARED}
+    surviving: List[FragmentSpec] = []
+    for spec in fragments:
+        if spec.kind != SHARED and spec.predicate in shared_predicates:
+            for atom_id, name in list(atom_rename.items()):
+                if name == spec.local_name:
+                    atom_rename[atom_id] = spec.predicate
+        else:
+            surviving.append(spec)
+    fragments = surviving
+
+    requirements: Dict[str, str] = {}
+    notes: Dict[str, str] = {}
+    for name, kinds in occurrence_kinds.items():
+        if all(kind != SHARED for kind in kinds):
+            requirements[name] = ("arbitrary-partition" if ARBITRARY in kinds
+                                  else "hash-partitioned")
+        else:
+            requirements[name] = "shared"
+            if any(kind != SHARED for kind in kinds):
+                notes[name] = "some occurrences are fragmentable, others not"
+    fragmentation = FragmentationPlan(requirements=requirements, notes=notes)
+
+    # ------------------------------------------------------------------
+    # Per-processor operational programs.
+    # ------------------------------------------------------------------
+    def local_body(rule: Rule) -> List[Atom]:
+        atoms = []
+        for atom in rule.body:
+            if atom.predicate == predicate:
+                atoms.append(atom.with_predicate(in_local))
+            else:
+                atoms.append(atom.with_predicate(atom_rename[id(atom)]))
+        return atoms
+
+    programs: Dict[ProcessorId, ProcessorProgram] = {}
+    for proc in processors:
+        h_i = family.member(proc)
+        init = Rule(
+            sirup.exit_rule.head.with_predicate(out_local),
+            local_body(sirup.exit_rule),
+            (HashConstraint(h_prime, v_e, proc),))
+        processing_constraints = ((HashConstraint(h_i, v_r, proc),)
+                                  if constrain_processing else ())
+        processing = Rule(
+            sirup.recursive_rule.head.with_predicate(out_local),
+            local_body(sirup.recursive_rule),
+            processing_constraints)
+        route = Route(
+            predicate=predicate,
+            pattern=recursive_atom,
+            positions=route_positions(v_r, recursive_atom),
+            discriminator=h_i)
+        programs[proc] = ProcessorProgram(
+            processor=proc,
+            init_rules=(init,),
+            processing_rules=(processing,),
+            routes=(route,),
+            in_names={predicate: in_local},
+            out_names={predicate: out_local},
+            arities={predicate: sirup.arity},
+        )
+
+    union = _build_union(sirup, processors, v_r, v_e, family, h_prime,
+                         constrain_processing)
+
+    return ParallelProgram(
+        source=sirup.program,
+        scheme=scheme,
+        processors=processors,
+        programs=programs,
+        fragments=tuple(fragments),
+        fragmentation=fragmentation,
+        union=union,
+        derived=(predicate,),
+    )
+
+
+def _build_union(sirup: LinearSirup, processors: Tuple[ProcessorId, ...],
+                 v_r: Tuple[Variable, ...], v_e: Tuple[Variable, ...],
+                 family: DiscriminatorFamily, h_prime: Discriminator,
+                 constrain_processing: bool) -> Program:
+    """Transliterate the five execution steps into one Datalog program.
+
+    This is exactly the paper's ``Q = ∪_{i∈P} Q_i`` (or ``R``): its
+    least model restricted to the source predicate must equal the least
+    model of the source program (Theorems 1 and 4).
+    """
+    predicate = sirup.predicate
+    recursive_atom = sirup.recursive_atom
+    rules: List[Rule] = []
+    avoid = {v.name for v in sirup.recursive_rule.variables()}
+    avoid |= {v.name for v in sirup.exit_rule.variables()}
+    pool_vars = fresh_variables(sirup.arity, avoid)
+    sendable = route_positions(v_r, recursive_atom) is not None
+
+    for i in processors:
+        h_i = family.member(i)
+        # 1. Initialization: t_out^i(Z) :- s(Z), h'(v(e)) = i.
+        rules.append(Rule(
+            sirup.exit_rule.head.with_predicate(out_name(predicate, i)),
+            sirup.exit_rule.body,
+            (HashConstraint(h_prime, v_e, i),)))
+        # 2. Processing: t_out^i(X) :- t_in^i(Y), b1, ..., bk [, h(v(r)) = i].
+        body = [a.with_predicate(in_name(predicate, i))
+                if a.predicate == predicate else a
+                for a in sirup.recursive_rule.body]
+        constraints = ((HashConstraint(h_i, v_r, i),)
+                       if constrain_processing else ())
+        rules.append(Rule(
+            sirup.recursive_rule.head.with_predicate(out_name(predicate, i)),
+            body, constraints))
+        for j in processors:
+            # 3. Sending: t_ij(Y) :- t_out^i(Y), h(v(r)) = j.  When some
+            # variable of v(r) is missing from Y the condition is not
+            # evaluable at the sender and everything is sent (Example 2).
+            send_constraints = ((HashConstraint(h_i, v_r, j),)
+                                if sendable else ())
+            rules.append(Rule(
+                recursive_atom.with_predicate(channel_name(predicate, i, j)),
+                (recursive_atom.with_predicate(out_name(predicate, i)),),
+                send_constraints))
+            # 4. Receiving: t_in^i(W) :- t_ji(W).
+            rules.append(Rule(
+                Atom(in_name(predicate, i), pool_vars),
+                (Atom(channel_name(predicate, j, i), pool_vars),)))
+        # 5. Final pooling: t(W) :- t_out^i(W).
+        rules.append(Rule(
+            Atom(predicate, pool_vars),
+            (Atom(out_name(predicate, i), pool_vars),)))
+    return Program(rules)
+
+
+def rewrite_linear_sirup(program: Union[Program, LinearSirup],
+                         processors: Sequence[ProcessorId],
+                         v_r: Sequence[Variable], v_e: Sequence[Variable],
+                         h: Discriminator,
+                         h_prime: Optional[Discriminator] = None,
+                         fragment_bases: bool = True,
+                         scheme: str = "section3") -> ParallelProgram:
+    """Rewrite a linear sirup with a shared discriminating function.
+
+    This is the non-redundant scheme of Section 3 (Theorems 1 and 2):
+    all processors use the same ``h``, the processing rule carries the
+    constraint ``h(v(r)) = i``, and base atoms containing all of
+    ``v(r)`` (or ``v(e)``) are fragmented.
+
+    Args:
+        program: the linear sirup (program or decomposition).
+        processors: the processor ids ``P``.
+        v_r: discriminating sequence for the recursive rule.
+        v_e: discriminating sequence for the exit rule.
+        h: discriminating function for the recursive rule.
+        h_prime: discriminating function for the exit rule (default: ``h``).
+        fragment_bases: allow base-relation fragmentation (set False to
+            force shared base relations).
+        scheme: label used in reports.
+    """
+    sirup = _coerce_sirup(program)
+    return _rewrite(sirup, processors, v_r, v_e, UniformFamily(h),
+                    h_prime if h_prime is not None else h,
+                    constrain_processing=True, fragment_bases=fragment_bases,
+                    scheme=scheme)
+
+
+def rewrite_linear_family(program: Union[Program, LinearSirup],
+                          processors: Sequence[ProcessorId],
+                          v_e: Sequence[Variable],
+                          family: DiscriminatorFamily,
+                          h_prime: Discriminator,
+                          v_r: Optional[Sequence[Variable]] = None,
+                          scheme: str = "section6") -> ParallelProgram:
+    """Rewrite a linear sirup with per-processor functions ``h_i``.
+
+    This is the trade-off scheme of Section 6 (Theorem 4): processing is
+    unconstrained (a processor works on everything it receives or
+    retains), base relations are shared, and every variable of ``v(r)``
+    must occur in ``Ȳ`` so routing is always point-to-point.
+
+    Args:
+        program: the linear sirup (program or decomposition).
+        processors: the processor ids ``P``.
+        v_e: discriminating sequence for the exit rule.
+        family: the per-processor family ``{h_i}``.
+        h_prime: discriminating function for the exit rule.
+        v_r: discriminating sequence for the recursive rule; defaults to
+            the variables of the recursive body atom ``Ȳ``.
+        scheme: label used in reports.
+    """
+    sirup = _coerce_sirup(program)
+    if v_r is None:
+        v_r = sirup.recursive_atom.variables()
+    body_atom_vars = set(sirup.recursive_atom.variables())
+    for variable in v_r:
+        if variable not in body_atom_vars:
+            raise RewriteError(
+                "Section 6 requires every variable of v(r) to appear in "
+                f"the recursive atom; {variable} does not")
+    return _rewrite(sirup, processors, v_r, v_e, family, h_prime,
+                    constrain_processing=False, fragment_bases=False,
+                    scheme=scheme)

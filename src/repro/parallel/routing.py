@@ -1,0 +1,116 @@
+"""Tuple routing: operational form of the paper's *sending* rules.
+
+The sending rule ``t_ij(Ȳ) :- t_out^i(Ȳ), h(v(r)) = j`` forwards an
+output tuple to the processor whose processing rule might fire on it.
+Two regimes exist (paper, Examples 2 and 3):
+
+* every variable of ``v(r)`` occurs in the recursive atom ``t(Ȳ)`` —
+  the sender evaluates ``h`` and the tuple goes to exactly one target;
+* some variable of ``v(r)`` is missing from ``Ȳ`` (Example 2's ``X``) —
+  the condition is not evaluable at the sender, so the tuple must be
+  sent to *every* processor (broadcast).  This costs communication but
+  is neither incorrect nor redundant: the receiver's processing
+  constraint still admits each firing at exactly one site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Sequence, Tuple
+
+from ..datalog.atom import Atom
+from ..datalog.term import Constant, Variable
+from ..errors import RoutingError
+from ..facts.relation import Fact
+from .discriminating import Discriminator
+
+__all__ = ["BROADCAST", "Route", "route_positions"]
+
+ProcessorId = Hashable
+
+
+class _Broadcast:
+    """Sentinel: the tuple must be sent to every processor."""
+
+    def __repr__(self) -> str:
+        return "BROADCAST"
+
+
+BROADCAST = _Broadcast()
+
+
+def route_positions(sequence: Sequence[Variable],
+                    pattern: Atom) -> Optional[Tuple[int, ...]]:
+    """Positions of the sequence variables within ``pattern``.
+
+    Returns None when some sequence variable does not occur in the
+    pattern, i.e. when the sender cannot evaluate ``h`` and must
+    broadcast.
+    """
+    positions = []
+    for variable in sequence:
+        for index, term in enumerate(pattern.terms):
+            if term == variable:
+                positions.append(index)
+                break
+        else:
+            return None
+    return tuple(positions)
+
+
+@dataclass(frozen=True)
+class Route:
+    """Routing for one recursive occurrence of a derived predicate.
+
+    Attributes:
+        predicate: the derived predicate whose tuples are routed.
+        pattern: the body-atom occurrence the tuples will be matched
+            against at the receiver (determines evaluability of ``h``).
+        positions: pattern positions feeding ``h``; None means the
+            sender must broadcast.
+        discriminator: the (sender-resolved) discriminating function.
+    """
+
+    predicate: str
+    pattern: Atom
+    positions: Optional[Tuple[int, ...]]
+    discriminator: Discriminator
+
+    def matches_pattern(self, fact: Fact) -> bool:
+        """True iff ``fact`` is unifiable with the occurrence pattern.
+
+        Constants in the pattern must agree with the fact and repeated
+        variables must carry equal values; otherwise the receiving rule
+        could never fire on this tuple and nothing needs to be sent.
+        """
+        seen = {}
+        for term, value in zip(self.pattern.terms, fact):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return False
+            else:
+                if term in seen and seen[term] != value:
+                    return False
+                seen[term] = value
+        return True
+
+    def targets(self, fact: Fact) -> Tuple[ProcessorId, ...]:
+        """Processor ids this tuple must reach for this occurrence.
+
+        Returns the full processor set on broadcast, the empty tuple
+        when the tuple cannot match the occurrence pattern or belongs to
+        no fragment of a partition-defined discriminator.
+        """
+        if len(fact) != self.pattern.arity or not self.matches_pattern(fact):
+            return ()
+        if self.positions is None:
+            return self.discriminator.processors
+        values = tuple(fact[p] for p in self.positions)
+        try:
+            return (self.discriminator(values),)
+        except RoutingError:
+            return ()
+
+    def is_broadcast(self) -> bool:
+        """True iff this route always broadcasts."""
+        return self.positions is None

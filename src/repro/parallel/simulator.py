@@ -1,0 +1,298 @@
+"""A deterministic simulated cluster for rewritten programs.
+
+The abstract architecture of Section 3: a set of processors, a reliable
+channel ``ij`` for every ordered pair, asynchronous receives.  The
+simulation is round-based — every round each processor ingests whatever
+reached it, fires its processing rules semi-naively on the new tuples,
+and the resulting outputs are routed for delivery at the next round.
+Rounds make every metric exactly reproducible; message *delay* can be
+injected (each in-flight tuple is independently held back a round) to
+exercise the asynchrony the paper claims the schemes tolerate.
+
+Termination is the condition that all processors are idle and all
+channels empty.  The simulator sees this globally; optionally it also
+runs Safra's token-ring termination-detection algorithm — the "standard
+algorithm of Distributed Computing" the paper defers to [5, 7] — and
+reports its control-message overhead and detection delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..engine.counters import EvalCounters
+from ..errors import ExecutionError
+from ..facts.database import Database
+from ..facts.relation import Fact, Relation
+from ..network.netgraph import NetworkGraph
+from .metrics import ParallelMetrics
+from .naming import processor_tag
+from .plans import ParallelProgram
+from .processor import ProcessorRuntime
+
+__all__ = ["ParallelResult", "SimulatedCluster", "run_parallel"]
+
+ProcessorId = Hashable
+Message = Tuple[ProcessorId, ProcessorId, str, Fact]  # (dest, sender, pred, tuple)
+
+
+@dataclass
+class ParallelResult:
+    """Outcome of a simulated parallel execution.
+
+    Attributes:
+        output: pooled answer — one relation per derived predicate
+            (the paper's final pooling step).
+        metrics: all counters observed during the run.
+        counters: per-processor engine counters.
+    """
+
+    output: Database
+    metrics: ParallelMetrics
+    counters: Dict[ProcessorId, EvalCounters]
+
+    def relation(self, predicate: str) -> Relation:
+        """Convenience accessor for a pooled output relation."""
+        return self.output.relation(predicate)
+
+
+class _SafraDetector:
+    """Safra's token-based termination detection over a processor ring."""
+
+    def __init__(self, ring: Sequence[ProcessorId]) -> None:
+        self.ring = tuple(ring)
+        self.colors = {proc: "white" for proc in self.ring}
+        self.counts = {proc: 0 for proc in self.ring}
+        self.holder_index = 0
+        self.token_value = 0
+        self.token_color = "white"
+        self.hops = 0
+        self.detected = False
+
+    def on_send(self, sender: ProcessorId, count: int) -> None:
+        self.counts[sender] += count
+
+    def on_receive(self, receiver: ProcessorId, count: int) -> None:
+        if count > 0:
+            self.counts[receiver] -= count
+            self.colors[receiver] = "black"
+
+    def advance(self, idle: Dict[ProcessorId, bool]) -> None:
+        """Move the token one hop if its holder is idle this round."""
+        if self.detected:
+            return
+        holder = self.ring[self.holder_index]
+        if not idle.get(holder, False):
+            return
+        if self.holder_index == 0:
+            # The initiator's own count enters the test *fresh* (it may
+            # have changed since the probe started); adding it at probe
+            # start instead would allow false detections.
+            if (self.hops >= len(self.ring)
+                    and self.token_color == "white"
+                    and self.colors[holder] == "white"
+                    and self.token_value + self.counts[holder] == 0):
+                self.detected = True
+                return
+            # Start a new probe: fresh white token, whitened initiator.
+            self.token_value = 0
+            self.token_color = "white"
+            self.colors[holder] = "white"
+            self.holder_index = 1 % len(self.ring)
+            self.hops += 1
+            return
+        self.token_value += self.counts[holder]
+        if self.colors[holder] == "black":
+            self.token_color = "black"
+        self.colors[holder] = "white"
+        self.holder_index = (self.holder_index + 1) % len(self.ring)
+        self.hops += 1
+
+
+class SimulatedCluster:
+    """Executes a :class:`ParallelProgram` over an input database.
+
+    Args:
+        program: the rewritten program.
+        database: the global extensional input.
+        delay_probability: chance that an in-flight tuple is held back
+            one extra round (asynchrony injection; 0 = synchronous BSP).
+        seed: RNG seed for delay injection.
+        detect_termination: additionally run Safra's algorithm and
+            record its control-message overhead.
+        reorder: allow the planner's greedy body reordering.
+        max_rounds: safety valve against non-terminating executions.
+        network: optional :class:`~repro.network.netgraph.NetworkGraph`
+            restricting which channels exist (Definition 3 — no
+            indirect routing).  A send over a missing channel raises
+            :class:`~repro.errors.ExecutionError`; running a program on
+            its own derived minimal network must therefore succeed
+            (Section 5's "adapt the parallel execution onto an existing
+            parallel architecture").
+    """
+
+    def __init__(self, program: ParallelProgram, database: Database,
+                 delay_probability: float = 0.0, seed: int = 0,
+                 detect_termination: bool = False, reorder: bool = True,
+                 max_rounds: int = 1_000_000,
+                 network: Optional[NetworkGraph] = None) -> None:
+        self.program = program
+        self.database = database
+        self.delay_probability = delay_probability
+        self.detect_termination = detect_termination
+        self.max_rounds = max_rounds
+        self.network = network
+        self._rng = random.Random(seed)
+        self._order = sorted(program.processors, key=processor_tag)
+        self.runtimes: Dict[ProcessorId, ProcessorRuntime] = {}
+        for proc in self._order:
+            local = program.local_database(proc, database)
+            self.runtimes[proc] = ProcessorRuntime(
+                program.program_for(proc), local, reorder=reorder)
+        self.metrics = ParallelMetrics(
+            scheme=program.scheme, processors=tuple(self._order))
+        self._detector = (_SafraDetector(self._order)
+                          if detect_termination else None)
+
+    # ------------------------------------------------------------------
+    def _route(self, sender: ProcessorId,
+               emissions: Sequence[Tuple[str, Fact]]) -> List[Message]:
+        """Apply the sending rules of ``sender`` to its new outputs."""
+        messages: List[Message] = []
+        program = self.program.program_for(sender)
+        sent_by_dest: Dict[ProcessorId, int] = {}
+        for predicate, fact in emissions:
+            targets: List[ProcessorId] = []
+            seen = set()
+            for route in program.routes_for(predicate):
+                route_targets = route.targets(fact)
+                if route.is_broadcast() and route_targets:
+                    self.metrics.broadcast_tuples += 1
+                for target in route_targets:
+                    if target not in seen:
+                        seen.add(target)
+                        targets.append(target)
+            for target in targets:
+                if target == sender:
+                    self.metrics.self_delivered[sender] += 1
+                else:
+                    if (self.network is not None
+                            and not self.network.has_edge(sender, target)):
+                        raise ExecutionError(
+                            f"channel {sender!r} -> {target!r} needed for a "
+                            f"{predicate} tuple is absent from the imposed "
+                            "network graph (Definition 3 forbids indirect "
+                            "routing)")
+                    self.metrics.sent[(sender, target)] += 1
+                    sent_by_dest[target] = sent_by_dest.get(target, 0) + 1
+                messages.append((target, sender, predicate, fact))
+        if self._detector is not None:
+            self._detector.on_send(sender, sum(sent_by_dest.values()))
+        return messages
+
+    def _deliver(self, messages: List[Message]
+                 ) -> Tuple[List[Message], Dict[ProcessorId, int]]:
+        """Deliver in-flight messages, possibly holding some back.
+
+        Returns the held-back messages and the per-processor count of
+        remote tuples delivered this round.
+        """
+        held: List[Message] = []
+        remote_received: Dict[ProcessorId, int] = {}
+        for message in messages:
+            if (self.delay_probability > 0.0
+                    and self._rng.random() < self.delay_probability):
+                held.append(message)
+                continue
+            destination, sender, predicate, fact = message
+            remote = destination != sender
+            self.runtimes[destination].receive(predicate, [fact], remote=remote)
+            if remote:
+                remote_received[destination] = (
+                    remote_received.get(destination, 0) + 1)
+        if self._detector is not None:
+            for proc, count in remote_received.items():
+                self._detector.on_receive(proc, count)
+        return held, remote_received
+
+    def run(self) -> ParallelResult:
+        """Execute to quiescence and pool the answers.
+
+        Raises:
+            ExecutionError: if ``max_rounds`` is exceeded.
+        """
+        in_flight: List[Message] = []
+        for proc in self._order:
+            emissions = self.runtimes[proc].initialize()
+            in_flight.extend(self._route(proc, emissions))
+
+        quiescent_round: Optional[int] = None
+        while True:
+            data_pending = bool(in_flight) or any(
+                self.runtimes[p].has_pending_input() for p in self._order)
+            if not data_pending and quiescent_round is None:
+                quiescent_round = self.metrics.rounds
+            if not data_pending and (self._detector is None
+                                     or self._detector.detected):
+                break
+            if self.metrics.rounds >= self.max_rounds:
+                raise ExecutionError(
+                    f"no quiescence after {self.max_rounds} rounds")
+
+            self.metrics.rounds += 1
+            in_flight, delivered = self._deliver(in_flight)
+
+            round_work: Dict[ProcessorId, float] = {}
+            round_sent: Dict[ProcessorId, int] = {}
+            round_received: Dict[ProcessorId, int] = {}
+            idle: Dict[ProcessorId, bool] = {}
+            for proc in self._order:
+                runtime = self.runtimes[proc]
+                before_work = runtime.work_done()
+                emissions = runtime.step()
+                idle[proc] = not emissions and not runtime.has_pending_input()
+                messages = self._route(proc, emissions)
+                in_flight.extend(messages)
+                round_work[proc] = runtime.work_done() - before_work
+                round_sent[proc] = sum(
+                    1 for destination, _, _, _ in messages if destination != proc)
+                round_received[proc] = delivered.get(proc, 0)
+            self.metrics.per_round_work.append(round_work)
+            self.metrics.per_round_sent.append(round_sent)
+            self.metrics.per_round_received.append(round_received)
+
+            if self._detector is not None:
+                self._detector.advance(idle)
+
+        counters = {p: self.runtimes[p].counters for p in self._order}
+        for proc in self._order:
+            self.metrics.firings[proc] = counters[proc].total_firings()
+            self.metrics.probes[proc] = counters[proc].probes
+            self.metrics.received[proc] = self.runtimes[proc].received_remote
+            self.metrics.duplicates_dropped[proc] = (
+                self.runtimes[proc].duplicates_dropped)
+        if self._detector is not None:
+            self.metrics.control_messages = self._detector.hops
+            if quiescent_round is not None:
+                self.metrics.detection_rounds = (
+                    self.metrics.rounds - quiescent_round)
+
+        output = Database()
+        for predicate in self.program.derived:
+            arity = self.program.program_for(self._order[0]).arities[predicate]
+            pooled = Relation(predicate, arity)
+            for proc in self._order:
+                pooled.update(self.runtimes[proc].output_relation(predicate))
+                self.metrics.pooled_tuples += len(
+                    self.runtimes[proc].output_relation(predicate))
+            output.attach(pooled)
+        return ParallelResult(output=output, metrics=self.metrics,
+                              counters=counters)
+
+
+def run_parallel(program: ParallelProgram, database: Database,
+                 **options: object) -> ParallelResult:
+    """Convenience wrapper: build a cluster and run it to completion."""
+    return SimulatedCluster(program, database, **options).run()

@@ -1,0 +1,44 @@
+"""Workload generators: canonical programs and seeded databases."""
+
+from .generator import Workload, make_workload, same_generation_database, workload_kinds
+from .graphs import (
+    binary_tree_edges,
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    layered_dag_edges,
+    random_dag_edges,
+    random_graph_edges,
+    random_tree_edges,
+)
+from .programs import (
+    ancestor_program,
+    chain3_program,
+    example6_program,
+    nonlinear_ancestor_program,
+    reverse_chain_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+__all__ = [
+    "Workload",
+    "ancestor_program",
+    "binary_tree_edges",
+    "chain3_program",
+    "chain_edges",
+    "cycle_edges",
+    "example6_program",
+    "grid_edges",
+    "layered_dag_edges",
+    "make_workload",
+    "nonlinear_ancestor_program",
+    "random_dag_edges",
+    "random_graph_edges",
+    "random_tree_edges",
+    "reverse_chain_program",
+    "same_generation_database",
+    "same_generation_program",
+    "transitive_closure_program",
+    "workload_kinds",
+]

@@ -1,0 +1,180 @@
+"""Bundled workloads: a program plus a matching seeded database."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..datalog.program import Program
+from ..facts.database import Database
+from . import graphs
+from .programs import (
+    ancestor_program,
+    nonlinear_ancestor_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+__all__ = ["Workload", "make_workload", "workload_kinds", "same_generation_database"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable experiment input.
+
+    Attributes:
+        name: registry key plus parameters (for report rows).
+        program: the Datalog program.
+        database: the extensional input.
+        description: one-line human-readable summary.
+    """
+
+    name: str
+    program: Program
+    database: Database
+    description: str
+
+
+def same_generation_database(pairs: int, depth: int, seed: int = 0) -> Database:
+    """A genealogy for the same-generation query.
+
+    Builds ``pairs`` up/down chains of the given depth hanging off a
+    shared set of flat links, so ``sg`` derives across chains.
+    """
+    rng = random.Random(seed)
+    up: List[Tuple[int, int]] = []
+    down: List[Tuple[int, int]] = []
+    flat: List[Tuple[int, int]] = []
+    next_node = 1
+    tops: List[int] = []
+    for _pair in range(pairs):
+        bottom_left = next_node
+        next_node += 1
+        node = bottom_left
+        for _level in range(depth):
+            parent = next_node
+            next_node += 1
+            up.append((node, parent))
+            node = parent
+        tops.append(node)
+        bottom_right = next_node
+        next_node += 1
+        node = bottom_right
+        for _level in range(depth):
+            parent = next_node
+            next_node += 1
+            down.append((parent, node))
+            node = parent
+        flat.append((tops[-1], node))
+    # A few random cross links make generations overlap.
+    for _extra in range(max(1, pairs // 2)):
+        flat.append((rng.choice(tops), rng.choice(tops)))
+    database = Database()
+    database.declare("up", 2).update(up)
+    database.declare("down", 2).update(down)
+    database.declare("flat", 2).update(flat)
+    return database
+
+
+def _edge_db(relation: str, edges: Sequence[Tuple[int, int]]) -> Database:
+    database = Database()
+    database.declare(relation, 2).update(edges)
+    return database
+
+
+_REGISTRY: Dict[str, Callable[[int, int], Workload]] = {}
+
+
+def _register(kind: str):
+    def wrap(builder: Callable[[int, int], Workload]):
+        _REGISTRY[kind] = builder
+        return builder
+    return wrap
+
+
+@_register("chain")
+def _chain(size: int, seed: int) -> Workload:
+    return Workload(f"chain-{size}", ancestor_program(),
+                    _edge_db("par", graphs.chain_edges(size)),
+                    f"ancestor over a {size}-edge chain")
+
+
+@_register("cycle")
+def _cycle(size: int, seed: int) -> Workload:
+    return Workload(f"cycle-{size}", transitive_closure_program(),
+                    _edge_db("edge", graphs.cycle_edges(size)),
+                    f"transitive closure of a {size}-cycle (saturates)")
+
+
+@_register("tree")
+def _tree(size: int, seed: int) -> Workload:
+    return Workload(f"tree-{size}", ancestor_program(),
+                    _edge_db("par", graphs.random_tree_edges(size, seed)),
+                    f"ancestor over a random {size}-node tree")
+
+
+@_register("dag")
+def _dag(size: int, seed: int) -> Workload:
+    return Workload(f"dag-{size}", ancestor_program(),
+                    _edge_db("par", graphs.random_dag_edges(size, 2, seed)),
+                    f"ancestor over a diamond-rich {size}-node DAG")
+
+
+@_register("layered")
+def _layered(size: int, seed: int) -> Workload:
+    width = max(2, size // 10)
+    layers = max(2, size // width)
+    return Workload(
+        f"layered-{size}", transitive_closure_program(),
+        _edge_db("edge", graphs.layered_dag_edges(layers, width, 2, seed)),
+        f"transitive closure of a {layers}x{width} layered DAG")
+
+
+@_register("grid")
+def _grid(size: int, seed: int) -> Workload:
+    side = max(2, int(size ** 0.5))
+    return Workload(f"grid-{side}x{side}", transitive_closure_program(),
+                    _edge_db("edge", graphs.grid_edges(side, side)),
+                    f"transitive closure of a {side}x{side} grid")
+
+
+@_register("nonlinear-dag")
+def _nonlinear(size: int, seed: int) -> Workload:
+    return Workload(f"nonlinear-dag-{size}", nonlinear_ancestor_program(),
+                    _edge_db("par", graphs.random_dag_edges(size, 2, seed)),
+                    f"non-linear ancestor over a {size}-node DAG (Example 8)")
+
+
+@_register("same-generation")
+def _same_generation(size: int, seed: int) -> Workload:
+    pairs = max(2, size // 8)
+    depth = 3
+    return Workload(f"same-generation-{size}", same_generation_program(),
+                    same_generation_database(pairs, depth, seed),
+                    f"same-generation over {pairs} chains of depth {depth}")
+
+
+def workload_kinds() -> Tuple[str, ...]:
+    """The registered workload kinds, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_workload(kind: str, size: int, seed: int = 0) -> Workload:
+    """Build a named workload.
+
+    Args:
+        kind: one of :func:`workload_kinds`.
+        size: approximate node count (exact meaning is per kind).
+        seed: RNG seed for randomised shapes.
+
+    Raises:
+        KeyError: on an unknown kind.
+    """
+    try:
+        builder = _REGISTRY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload kind {kind!r}; known: {workload_kinds()}"
+        ) from None
+    return builder(size, seed)

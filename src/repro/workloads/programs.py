@@ -1,0 +1,86 @@
+"""Canonical Datalog programs used throughout the paper and this repo."""
+
+from __future__ import annotations
+
+from ..datalog.parser import parse_program
+from ..datalog.program import Program
+
+__all__ = [
+    "ancestor_program",
+    "transitive_closure_program",
+    "nonlinear_ancestor_program",
+    "same_generation_program",
+    "chain3_program",
+    "example6_program",
+    "reverse_chain_program",
+]
+
+
+def ancestor_program() -> Program:
+    """The paper's running example (Sections 2 and 4).
+
+    Right-linear: ``anc(X,Y) :- par(X,Z), anc(Z,Y).``
+    """
+    return parse_program("""
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- par(X, Z), anc(Z, Y).
+    """)
+
+
+def transitive_closure_program() -> Program:
+    """Transitive closure over ``edge`` — the Valduriez–Khoshafian workload."""
+    return parse_program("""
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Y) :- edge(X, Z), tc(Z, Y).
+    """)
+
+
+def nonlinear_ancestor_program() -> Program:
+    """Example 8's non-linear ancestor (quadratic doubling recursion)."""
+    return parse_program("""
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), anc(Z, Y).
+    """)
+
+
+def same_generation_program() -> Program:
+    """The classic same-generation query (two base relations)."""
+    return parse_program("""
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    """)
+
+
+def chain3_program() -> Program:
+    """Example 4/7's 3-ary sirup ``p(U,V,W) :- p(V,W,Z), q(U,Z)``.
+
+    Its dataflow graph is the acyclic chain ``1 -> 2 -> 3`` (Figure 1),
+    so no zero-communication choice exists (Theorem 3 fails) and the
+    minimal network graph of Figure 4 is the interesting object.
+    """
+    return parse_program("""
+        p(U, V, W) :- s(U, V, W).
+        p(U, V, W) :- p(V, W, Z), q(U, Z).
+    """)
+
+
+def example6_program() -> Program:
+    """Example 6's sirup ``p(X,Y) :- p(Y,Z), r(X,Z)`` (Figure 3)."""
+    return parse_program("""
+        p(X, Y) :- q(X, Y).
+        p(X, Y) :- p(Y, Z), r(X, Z).
+    """)
+
+
+def reverse_chain_program() -> Program:
+    """A left-linear ancestor variant (recursion on the first argument).
+
+    Its dataflow graph has a self-loop at position 1, so the
+    zero-communication choice discriminates on position 1 instead of 2 —
+    a check that Theorem 3's construction reads the cycle, not a
+    convention.
+    """
+    return parse_program("""
+        anc(X, Y) :- par(X, Y).
+        anc(X, Y) :- anc(X, Z), par(Z, Y).
+    """)

@@ -1,0 +1,130 @@
+"""Tests for the experiment harness: the paper's claims hold on the tables."""
+
+import pytest
+
+from repro.bench import (
+    compare_schemes,
+    general_scheme_table,
+    load_balance_table,
+    network_minimality_table,
+    redundancy_table,
+    scalability_sweep,
+    sequential_baseline,
+    termination_overhead_table,
+    tradeoff_sweep,
+)
+from repro.datalog import Variable
+from repro.facts import Database
+from repro.parallel import TupleDiscriminator
+from repro.workloads import example6_program, make_workload, random_tree_edges
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture(scope="module")
+def dag_workload():
+    return make_workload("dag", 60, seed=2)
+
+
+class TestCompareSchemes:
+    def test_all_schemes_correct(self, dag_workload):
+        table = compare_schemes(dag_workload, range(3))
+        assert set(table.column("ok")) == {"yes"}
+
+    def test_paper_claims_hold(self, dag_workload):
+        table = compare_schemes(dag_workload, range(3))
+        rows = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+        example1 = rows["example1 (no comm)"]
+        example2 = rows["example2 (broadcast)"]
+        example3 = rows["example3 (p2p)"]
+        wolfson = rows["wolfson (redundant)"]
+        # Example 1: no communication but full replication.
+        assert example1["sent"] == 0
+        assert example1["replication"] == 3.0
+        # Example 2: any partition (replication 1) but most communication.
+        assert example2["replication"] == 1.0
+        assert example2["sent"] > example3["sent"] > 0
+        # Non-redundancy of the shared-h schemes, redundancy of Wolfson.
+        assert example1["redundancy"] == 0
+        assert example3["redundancy"] == 0
+        assert wolfson["redundancy"] > 0
+        assert wolfson["sent"] == 0
+
+
+class TestTradeoffSweep:
+    def test_endpoints(self, dag_workload):
+        table = tradeoff_sweep(dag_workload, range(3),
+                               fractions=(0.0, 0.5, 1.0))
+        redundancy = table.column("redundancy")
+        sent = table.column("sent")
+        assert redundancy[0] == 0
+        assert sent[-1] == 0
+        # Communication decreases monotonically with retention.
+        assert sent[0] > sent[1] > sent[2]
+
+
+class TestRedundancyTable:
+    def test_never_redundant(self):
+        workloads = [make_workload("dag", 40, seed=1),
+                     make_workload("tree", 40, seed=1),
+                     make_workload("nonlinear-dag", 25, seed=1)]
+        table = redundancy_table(workloads, range(3))
+        assert set(table.column("ok")) == {"yes"}
+
+
+class TestScalability:
+    def test_rows_per_processor_count(self, dag_workload):
+        table = scalability_sweep(dag_workload, (1, 2, 4))
+        assert table.column("N") == [1, 2, 4]
+        speedups = table.column("speedup")
+        # More processors should not slow the modelled makespan down
+        # dramatically; speedup at 4 should beat 1-processor baseline.
+        assert speedups[-1] > speedups[0]
+
+
+class TestGeneralSchemeTable:
+    def test_nonlinear_and_same_generation(self):
+        workloads = [make_workload("nonlinear-dag", 25, seed=3),
+                     make_workload("same-generation", 24, seed=3)]
+        table = general_scheme_table(workloads, range(3))
+        assert set(table.column("ok")) == {"yes"}
+
+
+class TestNetworkMinimality:
+    def test_sound_and_covered(self):
+        def database_factory(seed):
+            return Database.from_facts({
+                "q": random_tree_edges(15, seed=seed),
+                "r": random_tree_edges(15, seed=seed + 99),
+            })
+
+        table = network_minimality_table(
+            example6_program(), v_r=(Y, Z), v_e=(X, Y),
+            h=TupleDiscriminator(2), database_factory=database_factory,
+            trials=10)
+        (row,) = table.rows
+        values = dict(zip(table.headers, row))
+        assert values["sound"] == "yes"
+        assert values["witness coverage"] > 0.4
+
+
+class TestTerminationOverhead:
+    def test_control_messages_grow_with_n(self):
+        workload = make_workload("chain", 15)
+        table = termination_overhead_table(workload, (2, 4, 8))
+        control = table.column("control messages")
+        assert control[0] < control[-1]
+
+
+class TestLoadBalance:
+    def test_jain_index_in_bounds(self, dag_workload):
+        table = load_balance_table(dag_workload, range(3))
+        for value in table.column("jain index"):
+            assert 1 / 3 <= value <= 1.0
+
+
+class TestSequentialBaseline:
+    def test_returns_output_and_counters(self, dag_workload):
+        output, counters = sequential_baseline(dag_workload)
+        assert len(output.relation("anc")) > 0
+        assert counters.total_firings() > 0

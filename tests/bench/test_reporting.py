@@ -1,0 +1,37 @@
+"""Tests for table rendering."""
+
+from repro.bench import ExperimentTable, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("a", "long header"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0].startswith("a  ")
+        assert "-+-" in lines[1]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(1.23456,)])
+        assert "1.235" in text
+
+
+class TestExperimentTable:
+    def test_add_row_and_render(self):
+        table = ExperimentTable("T0", "demo", ("col1", "col2"))
+        table.add_row("a", 1)
+        table.add_note("a remark")
+        text = table.render()
+        assert "[T0] demo" in text
+        assert "a remark" in text
+        assert "col1" in text
+
+    def test_column_extraction(self):
+        table = ExperimentTable("T0", "demo", ("scheme", "sent"))
+        table.add_row("x", 10)
+        table.add_row("y", 20)
+        assert table.column("sent") == [10, 20]

@@ -1,0 +1,121 @@
+"""Tests for program analysis: dependencies, recursion, sirup detection."""
+
+import pytest
+
+from repro.datalog import (
+    as_linear_sirup,
+    dependency_graph,
+    is_linear_sirup,
+    is_recursive_rule,
+    parse_program,
+    recursion_components,
+    recursive_predicates,
+)
+from repro.errors import NotASirupError
+
+
+class TestDependencyGraph:
+    def test_edges_point_from_body_to_head(self, ancestor):
+        graph = dependency_graph(ancestor)
+        assert graph.has_edge("par", "anc")
+        assert graph.has_edge("anc", "anc")
+        assert not graph.has_edge("anc", "par")
+
+    def test_recursive_predicates_self_loop(self, ancestor):
+        assert recursive_predicates(ancestor) == frozenset({"anc"})
+
+    def test_mutual_recursion(self):
+        program = parse_program("""
+            even(X) :- zero(X).
+            even(X) :- succ(Y, X), odd(Y).
+            odd(X) :- succ(Y, X), even(X).
+        """)
+        assert recursive_predicates(program) == frozenset({"even", "odd"})
+
+    def test_non_recursive_program(self):
+        program = parse_program("grandpar(X, Y) :- par(X, Z), par(Z, Y).")
+        assert recursive_predicates(program) == frozenset()
+
+    def test_recursion_components_topological(self):
+        program = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+            famous(X) :- anc(X, Y), celebrity(Y).
+        """)
+        components = recursion_components(program)
+        anc_index = next(i for i, c in enumerate(components) if "anc" in c)
+        famous_index = next(i for i, c in enumerate(components)
+                            if "famous" in c)
+        assert anc_index < famous_index
+
+
+class TestRecursiveRule:
+    def test_direct_recursion(self, ancestor):
+        assert not is_recursive_rule(ancestor.rules[0], ancestor)
+        assert is_recursive_rule(ancestor.rules[1], ancestor)
+
+    def test_transitive_recursion(self):
+        program = parse_program("""
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- a(X).
+        """)
+        assert all(is_recursive_rule(rule, program) for rule in program)
+
+
+class TestLinearSirup:
+    def test_ancestor_decomposition(self, ancestor):
+        sirup = as_linear_sirup(ancestor)
+        assert sirup.predicate == "anc"
+        assert [v.name for v in sirup.head_vars] == ["X", "Y"]
+        assert [v.name for v in sirup.body_vars] == ["Z", "Y"]
+        assert [v.name for v in sirup.exit_vars] == ["X", "Y"]
+        assert len(sirup.base_atoms) == 1
+        assert sirup.base_atoms[0].predicate == "par"
+        assert sirup.arity == 2
+
+    def test_rule_order_does_not_matter(self):
+        program = parse_program("""
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+            anc(X, Y) :- par(X, Y).
+        """)
+        sirup = as_linear_sirup(program)
+        assert sirup.exit_rule is program.rules[1]
+
+    def test_is_linear_sirup(self, ancestor, nonlinear_ancestor):
+        assert is_linear_sirup(ancestor)
+        assert not is_linear_sirup(nonlinear_ancestor)
+
+    def test_nonlinear_rejected(self, nonlinear_ancestor):
+        with pytest.raises(NotASirupError):
+            as_linear_sirup(nonlinear_ancestor)
+
+    def test_wrong_rule_count_rejected(self):
+        with pytest.raises(NotASirupError):
+            as_linear_sirup(parse_program("p(X) :- q(X)."))
+
+    def test_two_exit_rules_rejected(self):
+        with pytest.raises(NotASirupError):
+            as_linear_sirup(parse_program("""
+                p(X) :- q(X).
+                p(X) :- r(X).
+            """))
+
+    def test_different_heads_rejected(self):
+        with pytest.raises(NotASirupError):
+            as_linear_sirup(parse_program("""
+                p(X) :- q(X).
+                r(X) :- s(X), r(X).
+            """))
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(NotASirupError):
+            as_linear_sirup(parse_program("""
+                p(X, 1) :- q(X).
+                p(X, Y) :- q(X), p(X, Y).
+            """))
+
+    def test_same_generation_is_sirup(self, sg_program):
+        sirup = as_linear_sirup(sg_program)
+        assert sirup.predicate == "sg"
+        assert len(sirup.base_atoms) == 2

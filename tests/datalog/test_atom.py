@@ -1,0 +1,74 @@
+"""Tests for atoms."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Substitution, Variable
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestAtom:
+    def test_arity(self):
+        assert Atom("p", (X, Y)).arity == 2
+
+    def test_is_ground(self):
+        assert Atom.from_fact("p", (1, 2)).is_ground()
+        assert not Atom("p", (X, Constant(1))).is_ground()
+
+    def test_variables_in_first_occurrence_order(self):
+        atom = Atom("p", (Y, X, Y))
+        assert atom.variables() == (Y, X)
+
+    def test_apply_substitution(self):
+        atom = Atom("p", (X, Y))
+        ground = atom.apply(Substitution({X: Constant(1), Y: Constant(2)}))
+        assert ground == Atom.from_fact("p", (1, 2))
+
+    def test_to_fact_requires_ground(self):
+        assert Atom.from_fact("p", (1, "a")).to_fact() == (1, "a")
+        with pytest.raises(ValueError):
+            Atom("p", (X,)).to_fact()
+
+    def test_match_binds_variables(self):
+        binding = Atom("p", (X, Y)).match((1, 2))
+        assert binding.get(X) == Constant(1)
+        assert binding.get(Y) == Constant(2)
+
+    def test_match_repeated_variable_requires_equal_values(self):
+        atom = Atom("p", (X, X))
+        assert atom.match((1, 1)) is not None
+        assert atom.match((1, 2)) is None
+
+    def test_match_constant_mismatch(self):
+        atom = Atom("p", (Constant(5), Y))
+        assert atom.match((5, 2)) is not None
+        assert atom.match((4, 2)) is None
+
+    def test_match_arity_mismatch(self):
+        assert Atom("p", (X,)).match((1, 2)) is None
+
+    def test_match_respects_existing_binding(self):
+        existing = Substitution({X: Constant(9)})
+        assert Atom("p", (X,)).match((9,), existing) is not None
+        assert Atom("p", (X,)).match((8,), existing) is None
+
+    def test_with_predicate(self):
+        renamed = Atom("p", (X, Y)).with_predicate("p@out")
+        assert renamed.predicate == "p@out"
+        assert renamed.terms == (X, Y)
+
+    def test_rename_variables(self):
+        renamed = Atom("p", (X, Constant(1))).rename("_2")
+        assert renamed == Atom("p", (Variable("X_2"), Constant(1)))
+
+    def test_equality_and_hash(self):
+        assert Atom("p", (X,)) == Atom("p", (X,))
+        assert Atom("p", (X,)) != Atom("q", (X,))
+        assert len({Atom("p", (X,)), Atom("p", (X,))}) == 1
+
+    def test_str(self):
+        assert str(Atom("p", (X, Constant(3)))) == "p(X, 3)"
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", (X,))

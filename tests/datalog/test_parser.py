@@ -1,0 +1,103 @@
+"""Tests for the tokenizer and parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+    tokenize,
+)
+from repro.errors import DatalogSyntaxError
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("anc(X, bob) :- par(X, 42).")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["name", "punct", "variable", "punct", "name",
+                         "punct", "punct", "name", "punct", "variable",
+                         "punct", "integer", "punct", "punct", "eof"]
+
+    def test_comments_ignored(self):
+        tokens = tokenize("p(X). % trailing\n# full line\nq(X).")
+        names = [t.text for t in tokens if t.kind == "name"]
+        assert names == ["p", "q"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("p(X).\n  q(Y).")
+        q_token = [t for t in tokens if t.text == "q"][0]
+        assert (q_token.line, q_token.column) == (2, 3)
+
+    def test_quoted_strings(self):
+        tokens = tokenize("p('hello world').")
+        assert any(t.kind == "string" and t.text == "hello world"
+                   for t in tokens)
+
+    def test_negative_integer(self):
+        tokens = tokenize("p(-3).")
+        assert any(t.kind == "integer" and t.text == "-3" for t in tokens)
+
+    def test_unterminated_string(self):
+        with pytest.raises(DatalogSyntaxError):
+            tokenize("p('oops).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError) as info:
+            tokenize("p(X) & q(X).")
+        assert "&" in str(info.value)
+
+
+class TestParser:
+    def test_parse_atom(self):
+        atom = parse_atom("par(X, bob)")
+        assert atom == Atom("par", (Variable("X"), Constant("bob")))
+
+    def test_parse_fact_rule(self):
+        rule = parse_rule("par(1, 2).")
+        assert rule.head == Atom.from_fact("par", (1, 2))
+        assert rule.body == ()
+
+    def test_parse_recursive_rule(self, ancestor):
+        rule = ancestor.rules[1]
+        assert str(rule) == "anc(X, Y) :- par(X, Z), anc(Z, Y)."
+
+    def test_underscore_starts_variable(self):
+        atom = parse_atom("p(_x)")
+        assert atom.terms == (Variable("_x"),)
+
+    def test_predicate_must_be_lowercase(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("Par(X, Y)")
+
+    def test_missing_period(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("p(X) :- q(X)")
+
+    def test_missing_close_paren(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_atom("p(X, Y")
+
+    def test_trailing_garbage_in_rule(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(1). q(2).")
+
+    def test_negation_rejected(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("p(X) :- q(X), !r(X).")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DatalogSyntaxError) as info:
+            parse_program("p(X) :- q(X).\np(X, :- q(X).")
+        assert info.value.line == 2
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_mixed_constants(self):
+        program = parse_program("p(alice, 'Bob Smith', 17, -4).")
+        fact = program.facts()[0].to_fact()
+        assert fact == ("alice", "Bob Smith", 17, -4)

@@ -1,0 +1,102 @@
+"""Tests for the pretty-printer, including the parse/format round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Program,
+    Rule,
+    Variable,
+    format_atom,
+    format_program,
+    format_rule,
+    format_term,
+    parse_program,
+)
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for random (valid, safe) programs.
+# ---------------------------------------------------------------------------
+
+variables = st.sampled_from([Variable(n) for n in "XYZUVW"])
+constants = st.one_of(
+    st.integers(-50, 50).map(Constant),
+    st.sampled_from(["a", "bob", "n1", "some_value"]).map(Constant),
+)
+terms = st.one_of(variables, constants)
+
+
+@st.composite
+def safe_rules(draw):
+    """A random safe rule: head variables drawn from the body."""
+    body_count = draw(st.integers(1, 3))
+    body = []
+    for index in range(body_count):
+        arity = draw(st.integers(1, 3))
+        name = draw(st.sampled_from(["q", "r", "s"]))
+        body.append(Atom(f"{name}{arity}", tuple(draw(terms)
+                                                 for _ in range(arity))))
+    body_vars = [v for atom in body for v in atom.variables()]
+    head_arity = draw(st.integers(1, 3))
+    if body_vars:
+        head_terms = tuple(
+            draw(st.one_of(st.sampled_from(body_vars), constants))
+            for _ in range(head_arity))
+    else:
+        head_terms = tuple(draw(constants) for _ in range(head_arity))
+    return Rule(Atom(f"p{head_arity}", head_terms), body)
+
+
+@st.composite
+def safe_programs(draw):
+    rules = draw(st.lists(safe_rules(), min_size=1, max_size=5))
+    try:
+        return Program(rules)
+    except Exception:
+        # Arity clashes between randomly drawn rules: discard.
+        from hypothesis import assume
+        assume(False)
+
+
+class TestFormatting:
+    def test_format_term_variable(self):
+        assert format_term(Variable("X")) == "X"
+
+    def test_format_term_quotes_uppercase_strings(self):
+        assert format_term(Constant("Bob")) == "'Bob'"
+
+    def test_format_atom(self):
+        atom = Atom("p", (Variable("X"), Constant(3)))
+        assert format_atom(atom) == "p(X, 3)"
+
+    def test_format_rule_with_constraint_comment(self):
+        class _Marker:
+            variables = ()
+
+            def satisfied(self, binding):
+                return True
+
+            def __str__(self):
+                return "h() = 0"
+
+        rule = Rule(Atom("p", (Constant(1),)), (Atom("q", (Constant(1),)),),
+                    (_Marker(),))
+        text = format_rule(rule)
+        assert text.startswith("p(1) :- q(1).")
+        assert "h() = 0" in text
+
+    def test_format_program_line_per_rule(self, ancestor):
+        assert format_program(ancestor).count("\n") == 1
+
+
+class TestRoundTrip:
+    @given(safe_programs())
+    @settings(max_examples=120, deadline=None)
+    def test_parse_format_roundtrip(self, program):
+        reparsed = parse_program(format_program(program))
+        assert reparsed == program
+
+    def test_roundtrip_fixture(self, ancestor):
+        assert parse_program(format_program(ancestor)) == ancestor

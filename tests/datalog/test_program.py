@@ -1,0 +1,66 @@
+"""Tests for programs."""
+
+import pytest
+
+from repro.datalog import Atom, Program, Rule, Variable, parse_program
+from repro.errors import ProgramValidationError, UnsafeRuleError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestProgram:
+    def test_base_and_derived_split(self, ancestor):
+        assert ancestor.derived_predicates == ("anc",)
+        assert ancestor.base_predicates == ("par",)
+        assert ancestor.predicates == ("anc", "par")
+
+    def test_base_predicates_exclude_fact_defined(self):
+        program = parse_program("""
+            par(1, 2).
+            anc(X, Y) :- par(X, Y).
+        """)
+        assert program.derived_predicates == ("anc",)
+        assert "par" in program.base_predicates
+
+    def test_arity_of(self, ancestor):
+        assert ancestor.arity_of("anc") == 2
+        with pytest.raises(KeyError):
+            ancestor.arity_of("missing")
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(ProgramValidationError):
+            parse_program("""
+                p(X) :- q(X).
+                p(X, Y) :- q(X), q(Y).
+            """)
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(UnsafeRuleError):
+            parse_program("p(X, Y) :- q(X).")
+
+    def test_validation_can_be_disabled(self):
+        rule = Rule(Atom("p", (X, Y)), (Atom("q", (X,)),))
+        program = Program([rule], validate=False)
+        assert len(program) == 1
+
+    def test_rules_for(self, ancestor):
+        assert len(ancestor.rules_for("anc")) == 2
+        assert ancestor.rules_for("par") == ()
+
+    def test_facts_and_proper_rules(self):
+        program = parse_program("""
+            par(1, 2).
+            anc(X, Y) :- par(X, Y).
+        """)
+        assert [str(a) for a in program.facts()] == ["par(1, 2)"]
+        assert len(program.proper_rules()) == 1
+
+    def test_extend(self, ancestor):
+        extra = parse_program("top(X) :- anc(X, Y).").rules[0]
+        extended = ancestor.extend([extra])
+        assert len(extended) == 3
+        assert "top" in extended.derived_predicates
+
+    def test_iteration_and_equality(self, ancestor):
+        assert list(ancestor) == list(ancestor.rules)
+        assert ancestor == parse_program(str(ancestor))

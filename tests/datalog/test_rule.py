@@ -1,0 +1,82 @@
+"""Tests for rules and the constraint protocol."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Rule, Substitution, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+HEAD = Atom("anc", (X, Y))
+BODY = (Atom("par", (X, Z)), Atom("anc", (Z, Y)))
+
+
+class _EvenConstraint:
+    """A toy constraint: the value bound to its variable is even."""
+
+    def __init__(self, variable):
+        self._variable = variable
+
+    @property
+    def variables(self):
+        return (self._variable,)
+
+    def satisfied(self, binding):
+        term = binding.get(self._variable)
+        return isinstance(term, Constant) and term.value % 2 == 0
+
+    def __str__(self):
+        return f"even({self._variable})"
+
+
+class TestRule:
+    def test_variables_head_first(self):
+        rule = Rule(HEAD, BODY)
+        assert rule.variables() == (X, Y, Z)
+
+    def test_body_variables_in_order(self):
+        rule = Rule(HEAD, BODY)
+        assert rule.body_variables() == (X, Z, Y)
+
+    def test_safety(self):
+        assert Rule(HEAD, BODY).is_safe()
+        unsafe = Rule(Atom("p", (X, Y)), (Atom("q", (X,)),))
+        assert not unsafe.is_safe()
+
+    def test_constraint_safety(self):
+        rule = Rule(HEAD, BODY, (_EvenConstraint(Z),))
+        assert rule.is_safe()
+        dangling = Rule(HEAD, BODY, (_EvenConstraint(Variable("W")),))
+        assert not dangling.is_safe()
+
+    def test_fact_rule_must_be_ground(self):
+        Rule(Atom.from_fact("p", (1,)))  # fine
+        with pytest.raises(ValueError):
+            Rule(Atom("p", (X,)))
+
+    def test_predicates_with_duplicates(self):
+        rule = Rule(HEAD, (Atom("par", (X, Z)), Atom("par", (Z, Y))))
+        assert rule.predicates() == ("par", "par")
+
+    def test_body_atoms_of(self):
+        rule = Rule(HEAD, BODY)
+        assert rule.body_atoms_of("anc") == (BODY[1],)
+        assert rule.body_atoms_of("nope") == ()
+
+    def test_with_constraints_appends(self):
+        constraint = _EvenConstraint(Z)
+        rule = Rule(HEAD, BODY).with_constraints((constraint,))
+        assert rule.constraints == (constraint,)
+
+    def test_with_body_and_with_head(self):
+        rule = Rule(HEAD, BODY)
+        assert rule.with_body(BODY[:1]).body == BODY[:1]
+        new_head = Atom("anc2", (X, Y))
+        assert rule.with_head(new_head).head == new_head
+
+    def test_str_formats(self):
+        assert str(Rule(Atom.from_fact("p", (1,)))) == "p(1)."
+        rule = Rule(HEAD, BODY)
+        assert str(rule) == "anc(X, Y) :- par(X, Z), anc(Z, Y)."
+
+    def test_equality(self):
+        assert Rule(HEAD, BODY) == Rule(HEAD, BODY)
+        assert Rule(HEAD, BODY) != Rule(HEAD, BODY[:1])

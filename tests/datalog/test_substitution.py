@@ -1,0 +1,62 @@
+"""Tests for substitutions."""
+
+import pytest
+
+from repro.datalog import Constant, Substitution, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestSubstitution:
+    def test_empty_binds_nothing(self):
+        subst = Substitution.empty()
+        assert subst.get(X) is None
+        assert len(subst) == 0
+
+    def test_bind_returns_extended_copy(self):
+        base = Substitution.empty()
+        extended = base.bind(X, Constant(1))
+        assert extended.get(X) == Constant(1)
+        assert base.get(X) is None  # immutability
+
+    def test_rebind_same_value_is_noop(self):
+        subst = Substitution.empty().bind(X, Constant(1))
+        assert subst.bind(X, Constant(1)) == subst
+
+    def test_rebind_conflicting_value_raises(self):
+        subst = Substitution.empty().bind(X, Constant(1))
+        with pytest.raises(ValueError):
+            subst.bind(X, Constant(2))
+
+    def test_apply_bound_and_unbound(self):
+        subst = Substitution({X: Constant(1)})
+        assert subst.apply(X) == Constant(1)
+        assert subst.apply(Y) == Y
+        assert subst.apply(Constant(9)) == Constant(9)
+
+    def test_is_ground(self):
+        assert Substitution({X: Constant(1)}).is_ground()
+        assert not Substitution({X: Y}).is_ground()
+
+    def test_compose_applies_right_to_left_result(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: Constant(3)})
+        composed = first.compose(second)
+        assert composed.apply(X) == Constant(3)
+        assert composed.apply(Y) == Constant(3)
+
+    def test_equality_and_hash(self):
+        a = Substitution({X: Constant(1), Y: Constant(2)})
+        b = Substitution({Y: Constant(2), X: Constant(1)})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_domain_and_items(self):
+        subst = Substitution({X: Constant(1)})
+        assert list(subst.domain()) == [X]
+        assert list(subst.items()) == [(X, Constant(1))]
+        assert X in subst
+
+    def test_repr_sorted_by_name(self):
+        subst = Substitution({Y: Constant(2), X: Constant(1)})
+        assert repr(subst) == "{X/1, Y/2}"

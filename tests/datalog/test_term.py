@@ -1,0 +1,54 @@
+"""Tests for terms: variables and constants."""
+
+import pytest
+
+from repro.datalog import Constant, Variable, is_constant, is_variable
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("X")) == hash(Variable("X"))
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str_is_name(self):
+        assert str(Variable("Long_Name")) == "Long_Name"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_renamed_appends_suffix(self):
+        assert Variable("X").renamed("_1") == Variable("X_1")
+
+    def test_not_equal_to_constant_of_same_text(self):
+        assert Variable("X") != Constant("X")
+        assert hash(Variable("X")) != hash(Constant("X"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+        assert Constant("a") != Constant(1)
+
+    def test_hashable_in_sets(self):
+        assert len({Constant(1), Constant(1), Constant("1")}) == 2
+
+    def test_str_of_identifier(self):
+        assert str(Constant("alice")) == "alice"
+
+    def test_str_of_non_identifier_quotes(self):
+        assert str(Constant("two words")) == repr("two words")
+
+    def test_str_of_int(self):
+        assert str(Constant(42)) == "42"
+
+    def test_predicates(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(Variable("X"))
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant(1))

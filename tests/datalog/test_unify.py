@@ -1,0 +1,113 @@
+"""Tests for unification, including hypothesis properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Substitution,
+    Variable,
+    mgu,
+    unify_atoms,
+    unify_terms,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+terms = st.one_of(
+    st.sampled_from([Variable(n) for n in "XYZ"]),
+    st.integers(0, 5).map(Constant),
+)
+atoms = st.tuples(st.integers(1, 3)).flatmap(
+    lambda a: st.tuples(*([terms] * a[0])).map(lambda ts: Atom("p", ts)))
+
+
+class TestUnifyTerms:
+    def test_identical_constants(self):
+        assert unify_terms(Constant(1), Constant(1)) == Substitution.empty()
+
+    def test_distinct_constants_fail(self):
+        assert unify_terms(Constant(1), Constant(2)) is None
+
+    def test_variable_binds_constant(self):
+        subst = unify_terms(X, Constant(1))
+        assert subst.apply(X) == Constant(1)
+
+    def test_constant_binds_variable_symmetrically(self):
+        subst = unify_terms(Constant(1), X)
+        assert subst.apply(X) == Constant(1)
+
+    def test_two_variables_alias(self):
+        subst = unify_terms(X, Y)
+        # One of the two is bound to the other.
+        assert subst.apply(X) == subst.apply(subst.apply(Y)) or \
+            subst.apply(Y) == subst.apply(subst.apply(X))
+
+    def test_respects_prior_binding(self):
+        prior = Substitution({X: Constant(1)})
+        assert unify_terms(X, Constant(2), prior) is None
+        assert unify_terms(X, Constant(1), prior) == prior
+
+
+class TestUnifyAtoms:
+    def test_predicate_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("q", (X,))) is None
+
+    def test_arity_mismatch(self):
+        assert unify_atoms(Atom("p", (X,)), Atom("p", (X, Y))) is None
+
+    def test_binding_flows_across_positions(self):
+        left = Atom("p", (X, X))
+        right = Atom("p", (Constant(1), Y))
+        subst = unify_atoms(left, right)
+        assert subst.apply(Y) == Constant(1) or subst.apply(
+            subst.apply(Y)) == Constant(1)
+
+    def test_conflict_across_positions(self):
+        left = Atom("p", (X, X))
+        right = Atom("p", (Constant(1), Constant(2)))
+        assert unify_atoms(left, right) is None
+
+    def test_mgu_of_list(self):
+        result = mgu([Atom("p", (X, Constant(1))),
+                      Atom("p", (Constant(2), Y))])
+        assert result.apply(X) == Constant(2)
+        assert result.apply(Y) == Constant(1)
+
+    def test_mgu_empty_list(self):
+        assert mgu([]) == Substitution.empty()
+
+
+def _resolve(term, subst):
+    seen = 0
+    while isinstance(term, Variable) and seen < 10:
+        bound = subst.get(term)
+        if bound is None:
+            return term
+        term = bound
+        seen += 1
+    return term
+
+
+class TestUnifyProperties:
+    @given(atoms, atoms)
+    @settings(max_examples=200, deadline=None)
+    def test_unifier_actually_unifies(self, left, right):
+        subst = unify_atoms(left, right)
+        if subst is None:
+            return
+        resolved_left = [_resolve(t, subst) for t in left.terms]
+        resolved_right = [_resolve(t, subst) for t in right.terms]
+        assert resolved_left == resolved_right
+
+    @given(atoms, atoms)
+    @settings(max_examples=200, deadline=None)
+    def test_symmetry_of_success(self, left, right):
+        assert (unify_atoms(left, right) is None) == (
+            unify_atoms(right, left) is None)
+
+    @given(atoms)
+    @settings(max_examples=100, deadline=None)
+    def test_self_unification_succeeds(self, atom):
+        assert unify_atoms(atom, atom) is not None

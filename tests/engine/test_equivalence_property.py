@@ -1,0 +1,94 @@
+"""Property tests: naive and semi-naive agree on the least model.
+
+This is the engine's central correctness property — the two strategies
+are completely different code paths, so agreement on random programs
+and random data is strong evidence both compute the least model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_program
+from repro.engine import EvalCounters, evaluate
+from repro.facts import Database
+from repro.workloads import (
+    ancestor_program,
+    nonlinear_ancestor_program,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    min_size=0, max_size=40).map(lambda edges: sorted(set(edges)))
+
+
+def _db(relation, edges):
+    database = Database()
+    database.declare(relation, 2).update(edges)
+    return database
+
+
+class TestNaiveSeminaiveAgreement:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_ancestor(self, edges):
+        database = _db("par", edges)
+        program = ancestor_program()
+        semi = evaluate(program, database)
+        naive = evaluate(program, database, method="naive")
+        assert semi.output.same_contents(naive.output, ["anc"])
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_nonlinear_ancestor(self, edges):
+        database = _db("par", edges)
+        program = nonlinear_ancestor_program()
+        semi = evaluate(program, database)
+        naive = evaluate(program, database, method="naive")
+        assert semi.output.same_contents(naive.output, ["anc"])
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_linear_equals_nonlinear_ancestor(self, edges):
+        database = _db("par", edges)
+        linear = evaluate(ancestor_program(), database)
+        nonlinear = evaluate(nonlinear_ancestor_program(), database)
+        assert (linear.relation("anc").as_set()
+                == nonlinear.relation("anc").as_set())
+
+    @given(edge_lists, edge_lists, edge_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_same_generation(self, up, down, flat):
+        database = Database()
+        database.declare("up", 2).update(up)
+        database.declare("down", 2).update(down)
+        database.declare("flat", 2).update(flat)
+        program = same_generation_program()
+        semi = evaluate(program, database)
+        naive = evaluate(program, database, method="naive")
+        assert semi.output.same_contents(naive.output, ["sg"])
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_seminaive_never_fires_more_than_naive(self, edges):
+        database = _db("edge", edges)
+        program = transitive_closure_program()
+        semi_counters = EvalCounters()
+        naive_counters = EvalCounters()
+        evaluate(program, database, counters=semi_counters)
+        evaluate(program, database, method="naive", counters=naive_counters)
+        assert (semi_counters.total_firings()
+                <= naive_counters.total_firings())
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_closure_is_transitive_and_contains_edges(self, edges):
+        database = _db("edge", edges)
+        closure = evaluate(transitive_closure_program(),
+                           database).relation("tc").as_set()
+        assert set(edges) <= closure
+        for a, b in closure:
+            for c, d in closure:
+                if b == c:
+                    assert (a, d) in closure

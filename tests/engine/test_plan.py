@@ -1,0 +1,93 @@
+"""Tests for plan execution: joins, constraints, firing counts."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Rule, Variable, parse_rule
+from repro.engine import EvalCounters, compile_plan
+from repro.errors import EvaluationError
+from repro.facts import Database
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+def _db():
+    return Database.from_facts({
+        "par": [(1, 2), (2, 3), (3, 4), (2, 5)],
+        "anc": [(2, 3), (3, 4), (2, 5)],
+    })
+
+
+class TestExecute:
+    def test_join_produces_expected_tuples(self):
+        plan = compile_plan(parse_rule("anc2(X, Y) :- par(X, Z), anc(Z, Y)."))
+        produced = sorted(plan.execute(_db()))
+        assert produced == [(1, 3), (1, 5), (2, 4)]
+
+    def test_duplicate_firings_are_yielded(self):
+        database = Database.from_facts({
+            "e": [(1, 2), (1, 3)],
+            "f": [(2, 9), (3, 9)],
+        })
+        plan = compile_plan(parse_rule("g(X, Y) :- e(X, Z), f(Z, Y)."))
+        produced = list(plan.execute(database))
+        assert sorted(produced) == [(1, 9), (1, 9)]  # two derivations
+
+    def test_firings_counted(self):
+        counters = EvalCounters()
+        plan = compile_plan(parse_rule("anc2(X, Y) :- par(X, Z), anc(Z, Y)."))
+        list(plan.execute(_db(), counters))
+        assert counters.total_firings() == 3
+        assert counters.probes > 0
+
+    def test_constants_in_body(self):
+        plan = compile_plan(parse_rule("from2(Y) :- par(2, Y)."))
+        assert sorted(plan.execute(_db())) == [(3,), (5,)]
+
+    def test_constants_in_head(self):
+        plan = compile_plan(parse_rule("tagged(1, Y) :- par(2, Y)."))
+        assert sorted(plan.execute(_db())) == [(1, 3), (1, 5)]
+
+    def test_repeated_variable_in_atom(self):
+        database = Database.from_facts({"e": [(1, 1), (1, 2), (3, 3)]})
+        plan = compile_plan(parse_rule("loop(X) :- e(X, X)."))
+        assert sorted(plan.execute(database)) == [(1,), (3,)]
+
+    def test_repeated_variable_across_atoms(self):
+        database = Database.from_facts({"e": [(1, 2), (2, 3)],
+                                        "f": [(2, 8), (9, 9)]})
+        plan = compile_plan(parse_rule("g(X, Y) :- e(X, Z), f(Z, Y)."))
+        assert sorted(plan.execute(database)) == [(1, 8)]
+
+    def test_missing_relation_raises(self):
+        plan = compile_plan(parse_rule("a(X) :- nowhere(X)."))
+        with pytest.raises(EvaluationError):
+            list(plan.execute(Database()))
+
+    def test_constraint_filters_firings(self):
+        class _OnlyEven:
+            variables = (Y,)
+
+            def satisfied(self, binding):
+                return binding.get(Y).value % 2 == 0
+
+        rule = Rule(Atom("even_child", (Y,)), (Atom("par", (X, Y)),),
+                    (_OnlyEven(),))
+        plan = compile_plan(rule)
+        counters = EvalCounters()
+        produced = sorted(plan.execute(_db(), counters))
+        assert produced == [(2,), (4,)]
+        # Filtered substitutions are not successful firings.
+        assert counters.total_firings() == 2
+
+    def test_false_preconstraint_short_circuits(self):
+        class _Never:
+            variables = ()
+
+            def satisfied(self, binding):
+                return False
+
+        rule = Rule(Atom("a", (X,)), (Atom("par", (X, Y)),), (_Never(),))
+        plan = compile_plan(rule)
+        counters = EvalCounters()
+        assert list(plan.execute(_db(), counters)) == []
+        assert counters.probes == 0

@@ -1,0 +1,102 @@
+"""Tests for plan compilation and body ordering."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Variable, parse_rule
+from repro.engine import compile_plan, order_body
+from repro.errors import EvaluationError
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class _TrueConstraint:
+    def __init__(self, *variables):
+        self._variables = variables
+
+    @property
+    def variables(self):
+        return self._variables
+
+    def satisfied(self, binding):
+        return True
+
+    def __str__(self):
+        return "true"
+
+
+class TestOrderBody:
+    def test_textual_order_when_disabled(self):
+        rule = parse_rule("a(X, Y) :- b(X), c(X, Y), d(Y).")
+        assert order_body(rule, reorder=False) == (0, 1, 2)
+
+    def test_pinned_first_without_reorder(self):
+        rule = parse_rule("a(X, Y) :- b(X), c(X, Y), d(Y).")
+        assert order_body(rule, reorder=False, pinned_first=2) == (2, 0, 1)
+
+    def test_greedy_prefers_bound_atoms(self):
+        # After b(X) binds X, c(X, Y) has a bound position, d(W) has none.
+        rule = parse_rule("a(X, Y) :- c(X, Y), d(W), b(X), e(W, Y).")
+        order = order_body(rule, reorder=True, pinned_first=2)
+        # b(X) pinned; then c(X, Y) scores better than d(W).
+        assert order[0] == 2
+        assert order[1] == 0
+
+    def test_constants_count_as_bound(self):
+        rule = parse_rule("a(X) :- b(X, Y), c(7, X).")
+        order = order_body(rule, reorder=True)
+        assert order[0] == 1  # c(7, X) has a constant-bound position
+
+    def test_empty_body(self):
+        rule = parse_rule("a(1).")
+        assert order_body(rule) == ()
+
+
+class TestCompilePlan:
+    def test_rejects_fact_rule(self):
+        with pytest.raises(EvaluationError):
+            compile_plan(parse_rule("a(1)."))
+
+    def test_rejects_unsafe_rule(self):
+        from repro.datalog import Rule
+        rule = Rule(Atom("a", (X, Y)), (Atom("b", (X,)),))
+        with pytest.raises(EvaluationError):
+            compile_plan(rule)
+
+    def test_key_positions_reflect_bindings(self):
+        rule = parse_rule("a(X, Y) :- b(X, Z), c(Z, Y).")
+        plan = compile_plan(rule, reorder=False)
+        assert plan.steps[0].key_positions == ()
+        assert plan.steps[1].key_positions == (0,)  # Z bound by step 1
+
+    def test_repeated_variable_within_atom_not_a_key(self):
+        rule = parse_rule("a(X) :- b(X, X).")
+        plan = compile_plan(rule)
+        assert plan.steps[0].key_positions == ()
+
+    def test_constraint_scheduled_at_earliest_step(self):
+        from repro.datalog import Rule
+        rule = Rule(Atom("a", (X, Y)),
+                    (Atom("b", (X, Z)), Atom("c", (Z, Y))),
+                    (_TrueConstraint(Z),))
+        plan = compile_plan(rule, reorder=False)
+        assert len(plan.steps[0].constraints) == 1
+        assert len(plan.steps[1].constraints) == 0
+
+    def test_variable_free_constraint_is_preapplied(self):
+        from repro.datalog import Rule
+        rule = Rule(Atom("a", (X,)), (Atom("b", (X,)),),
+                    (_TrueConstraint(),))
+        plan = compile_plan(rule)
+        assert plan.pre_constraints
+        assert not plan.steps[0].constraints
+
+    def test_label_defaults_to_rule_text(self):
+        rule = parse_rule("a(X) :- b(X).")
+        assert compile_plan(rule).label == str(rule)
+        assert compile_plan(rule, label="mine").label == "mine"
+
+    def test_str_rendering(self):
+        plan = compile_plan(parse_rule("a(X, Y) :- b(X, Z), c(Z, Y)."))
+        text = str(plan)
+        assert "plan for" in text
+        assert "1." in text and "2." in text

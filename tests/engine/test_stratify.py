@@ -1,0 +1,47 @@
+"""Tests for stratum construction."""
+
+from repro.datalog import parse_program
+from repro.engine import build_strata
+
+
+class TestBuildStrata:
+    def test_single_recursive_stratum(self, ancestor):
+        strata = build_strata(ancestor)
+        assert len(strata) == 1
+        stratum = strata[0]
+        assert stratum.predicates == frozenset({"anc"})
+        assert stratum.recursive
+        assert len(stratum.exit_rules()) == 1
+        assert len(stratum.recursive_rules()) == 1
+
+    def test_non_recursive_stratum(self):
+        program = parse_program("grandpar(X, Y) :- par(X, Z), par(Z, Y).")
+        strata = build_strata(program)
+        assert len(strata) == 1
+        assert not strata[0].recursive
+
+    def test_dependent_strata_in_order(self):
+        program = parse_program("""
+            top(X) :- anc(X, Y), root(Y).
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+        """)
+        strata = build_strata(program)
+        names = [stratum.predicates for stratum in strata]
+        assert names.index(frozenset({"anc"})) < names.index(
+            frozenset({"top"}))
+
+    def test_mutual_recursion_one_stratum(self):
+        program = parse_program("""
+            even(X) :- zero(X).
+            odd(Y) :- even(X), succ(X, Y).
+            even(Y) :- odd(X), succ(X, Y).
+        """)
+        strata = build_strata(program)
+        assert len(strata) == 1
+        assert strata[0].predicates == frozenset({"even", "odd"})
+        assert strata[0].recursive
+
+    def test_base_only_components_skipped(self, ancestor):
+        strata = build_strata(ancestor)
+        assert all("par" not in stratum.predicates for stratum in strata)

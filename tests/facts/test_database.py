@@ -1,0 +1,83 @@
+"""Tests for databases."""
+
+import pytest
+
+from repro.datalog import Atom
+from repro.facts import Database, Relation
+
+
+class TestDatabase:
+    def test_from_facts_infers_arity(self):
+        database = Database.from_facts({"p": [(1, 2)], "q": [(1,)]})
+        assert database.relation("p").arity == 2
+        assert database.relation("q").arity == 1
+
+    def test_from_facts_rejects_empty_relation(self):
+        with pytest.raises(ValueError):
+            Database.from_facts({"p": []})
+
+    def test_from_atoms(self):
+        database = Database.from_atoms([Atom.from_fact("p", (1, 2))])
+        assert (1, 2) in database.relation("p")
+
+    def test_declare_idempotent(self):
+        database = Database()
+        first = database.declare("p", 2)
+        second = database.declare("p", 2)
+        assert first is second
+
+    def test_declare_arity_conflict(self):
+        database = Database()
+        database.declare("p", 2)
+        with pytest.raises(ValueError):
+            database.declare("p", 3)
+
+    def test_add_fact_creates_relation(self):
+        database = Database()
+        assert database.add_fact("p", (1,)) is True
+        assert database.add_fact("p", (1,)) is False
+
+    def test_relation_raises_on_missing(self):
+        with pytest.raises(KeyError):
+            Database().relation("missing")
+        assert Database().get("missing") is None
+
+    def test_attach_replaces(self):
+        database = Database()
+        database.attach(Relation("p", 1, [(1,)]))
+        database.attach(Relation("p", 1, [(2,)]))
+        assert (2,) in database.relation("p")
+        assert (1,) not in database.relation("p")
+
+    def test_names_sorted(self):
+        database = Database.from_facts({"zz": [(1,)], "aa": [(2,)]})
+        assert database.names() == ("aa", "zz")
+
+    def test_copy_is_deep_for_facts(self):
+        original = Database.from_facts({"p": [(1,)]})
+        clone = original.copy()
+        clone.relation("p").add((2,))
+        assert len(original.relation("p")) == 1
+
+    def test_restrict(self):
+        database = Database.from_facts({"p": [(1,)], "q": [(2,)]})
+        subset = database.restrict(["p", "nope"])
+        assert "p" in subset
+        assert "q" not in subset
+
+    def test_total_facts(self):
+        database = Database.from_facts({"p": [(1,), (2,)], "q": [(3,)]})
+        assert database.total_facts() == 3
+
+    def test_same_contents(self):
+        left = Database.from_facts({"p": [(1,)]})
+        right = Database.from_facts({"p": [(1,)]})
+        assert left.same_contents(right)
+        right.relation("p").add((2,))
+        assert not left.same_contents(right)
+
+    def test_same_contents_treats_missing_as_empty(self):
+        left = Database.from_facts({"p": [(1,)]})
+        right = Database()
+        assert not left.same_contents(right)
+        assert left.same_contents(right, names=["q"])

@@ -1,0 +1,43 @@
+"""Tests for hash indexes."""
+
+from repro.facts import HashIndex
+
+
+class TestHashIndex:
+    def test_lookup_by_key(self):
+        index = HashIndex((0,))
+        index.add((1, "a"))
+        index.add((1, "b"))
+        index.add((2, "c"))
+        assert sorted(index.lookup((1,))) == [(1, "a"), (1, "b")]
+        assert list(index.lookup((3,))) == []
+
+    def test_key_of(self):
+        index = HashIndex((2, 0))
+        assert index.key_of(("a", "b", "c")) == ("c", "a")
+
+    def test_discard_removes_and_prunes_bucket(self):
+        index = HashIndex((0,))
+        index.add((1, "a"))
+        index.discard((1, "a"))
+        assert list(index.lookup((1,))) == []
+        assert len(index) == 0
+
+    def test_discard_absent_is_noop(self):
+        index = HashIndex((0,))
+        index.add((1, "a"))
+        index.discard((2, "b"))
+        index.discard((1, "zzz"))
+        assert len(index) == 1
+
+    def test_empty_positions_index(self):
+        index = HashIndex(())
+        index.add((1,))
+        index.add((2,))
+        assert sorted(index.lookup(())) == [(1,), (2,)]
+
+    def test_len_counts_all_facts(self):
+        index = HashIndex((0,))
+        for value in range(5):
+            index.add((value % 2, value))
+        assert len(index) == 5

@@ -1,0 +1,93 @@
+"""Tests for relations and their incremental indexes."""
+
+import pytest
+
+from repro.facts import Relation
+
+
+class TestRelation:
+    def test_add_reports_novelty(self):
+        relation = Relation("p", 2)
+        assert relation.add((1, 2)) is True
+        assert relation.add((1, 2)) is False
+        assert len(relation) == 1
+
+    def test_arity_enforced(self):
+        relation = Relation("p", 2)
+        with pytest.raises(ValueError):
+            relation.add((1, 2, 3))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("p", -1)
+
+    def test_update_counts_new_only(self):
+        relation = Relation("p", 1)
+        assert relation.update([(1,), (2,), (1,)]) == 2
+
+    def test_membership_and_iteration(self):
+        relation = Relation("p", 2, [(1, 2), (3, 4)])
+        assert (1, 2) in relation
+        assert (9, 9) not in relation
+        assert sorted(relation) == [(1, 2), (3, 4)]
+
+    def test_discard(self):
+        relation = Relation("p", 1, [(1,)])
+        assert relation.discard((1,)) is True
+        assert relation.discard((1,)) is False
+        assert len(relation) == 0
+
+    def test_lookup_uses_index(self):
+        relation = Relation("p", 2, [(1, 2), (1, 3), (2, 3)])
+        assert sorted(relation.lookup((0,), (1,))) == [(1, 2), (1, 3)]
+        assert list(relation.lookup((0,), (9,))) == []
+
+    def test_index_maintained_on_add(self):
+        relation = Relation("p", 2, [(1, 2)])
+        index = relation.index_on((1,))
+        relation.add((5, 2))
+        assert sorted(index.lookup((2,))) == [(1, 2), (5, 2)]
+
+    def test_index_maintained_on_discard(self):
+        relation = Relation("p", 2, [(1, 2), (5, 2)])
+        index = relation.index_on((1,))
+        relation.discard((1, 2))
+        assert list(index.lookup((2,))) == [(5, 2)]
+
+    def test_multi_position_lookup(self):
+        relation = Relation("p", 3, [(1, 2, 3), (1, 2, 4), (1, 9, 3)])
+        assert sorted(relation.lookup((0, 1), (1, 2))) == [(1, 2, 3), (1, 2, 4)]
+
+    def test_copy_is_independent(self):
+        original = Relation("p", 1, [(1,)])
+        clone = original.copy()
+        clone.add((2,))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_copy_can_rename(self):
+        clone = Relation("p", 1, [(1,)]).copy(name="p@frag")
+        assert clone.name == "p@frag"
+
+    def test_clear(self):
+        relation = Relation("p", 1, [(1,), (2,)])
+        relation.index_on((0,))
+        relation.clear()
+        assert len(relation) == 0
+        assert list(relation.lookup((0,), (1,))) == []
+
+    def test_equality(self):
+        assert Relation("p", 1, [(1,)]) == Relation("p", 1, [(1,)])
+        assert Relation("p", 1, [(1,)]) != Relation("p", 1, [(2,)])
+        assert Relation("p", 1) != Relation("q", 1)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation("p", 1))
+
+    def test_facts_view_is_live(self):
+        relation = Relation("p", 1)
+        view = relation.facts()
+        relation.add((1,))
+        assert (1,) in view
+        assert len(view) == 1

@@ -1,0 +1,146 @@
+"""Tests for compile-time network derivation (Examples 6 and 7)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Variable, as_linear_sirup
+from repro.errors import NetworkDerivationError
+from repro.facts import Database
+from repro.network import derive_network, solve_linear_network
+from repro.parallel import (
+    HashDiscriminator,
+    LinearDiscriminator,
+    TupleDiscriminator,
+    rewrite_linear_sirup,
+    run_parallel,
+)
+from repro.workloads import chain3_program, example6_program, random_tree_edges
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+U, V, W = Variable("U"), Variable("V"), Variable("W")
+
+
+class TestExample6Figure3:
+    """Paper, Example 6: h(a, b) = (g(a), g(b)), processors {0,1}^2."""
+
+    @pytest.fixture
+    def network(self, example6):
+        return derive_network(example6, v_r=(Y, Z), v_e=(X, Y),
+                              h=TupleDiscriminator(2))
+
+    def test_no_edge_00_to_01(self, network):
+        assert not network.has_edge((0, 0), (0, 1))
+
+    def test_no_edge_00_to_11(self, network):
+        assert not network.has_edge((0, 0), (1, 1))
+
+    def test_edge_00_to_10(self, network):
+        assert network.has_edge((0, 0), (1, 0))
+
+    def test_structure_second_component_must_match_first(self, network):
+        """Edge (b, c) -> (a, b): the receiver's second g equals the
+        sender's first g."""
+        for source, target in network.edges(include_self=False):
+            assert target[1] == source[0]
+
+    def test_every_consistent_edge_present(self, network):
+        for source in itertools.product((0, 1), repeat=2):
+            for target in itertools.product((0, 1), repeat=2):
+                expected = target[1] == source[0]
+                assert network.has_edge(source, target) == (
+                    expected) or source == target
+
+
+class TestExample7Figure4:
+    def test_linear_solver_agrees_with_enumeration(self, chain3):
+        by_system = solve_linear_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W), coefficients=(1, -1, 1))
+        by_enumeration = derive_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W),
+            h=LinearDiscriminator((1, -1, 1)))
+        assert by_system.edges() == by_enumeration.edges()
+
+    def test_processor_set_matches_paper(self, chain3):
+        network = solve_linear_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W), coefficients=(1, -1, 1))
+        assert set(network.processors) == {-1, 0, 1, 2}
+
+    def test_edge_characterisation(self, chain3):
+        """Remote edge u -> v possible iff u + v = x1 + x4 lies in {0,1,2}.
+
+        Self-loops additionally arise from the exit-producer scenario
+        (h' = h makes production and consumption coincide), so every
+        (u, u) is an edge regardless of the sum condition.
+        """
+        network = solve_linear_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W), coefficients=(1, -1, 1))
+        for u in (-1, 0, 1, 2):
+            for v in (-1, 0, 1, 2):
+                if u == v:
+                    assert network.has_edge(u, v)
+                else:
+                    assert network.has_edge(u, v) == (0 <= u + v <= 2)
+
+    @given(st.tuples(st.integers(-2, 2), st.integers(-2, 2),
+                     st.integers(-2, 2)))
+    @settings(max_examples=30, deadline=None)
+    def test_solver_vs_enumeration_random_coefficients(self, coefficients):
+        chain3 = chain3_program()
+        by_system = solve_linear_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W), coefficients=coefficients)
+        by_enumeration = derive_network(
+            chain3, v_r=(V, W, Z), v_e=(U, V, W),
+            h=LinearDiscriminator(coefficients))
+        assert by_system.edges() == by_enumeration.edges()
+
+
+class TestDerivationSoundness:
+    """Every channel the simulator uses must be a derived edge."""
+
+    def _observed(self, program, v_r, v_e, h, database):
+        parallel = rewrite_linear_sirup(program, tuple(h.processors),
+                                        v_r, v_e, h)
+        return run_parallel(parallel, database).metrics.used_channels()
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_example6_soundness(self, seed):
+        example6 = example6_program()
+        h = TupleDiscriminator(2)
+        derived = derive_network(example6, v_r=(Y, Z), v_e=(X, Y), h=h)
+        database = Database.from_facts({
+            "q": random_tree_edges(12, seed=seed),
+            "r": random_tree_edges(12, seed=seed + 1000),
+        })
+        observed = self._observed(example6, (Y, Z), (X, Y), h, database)
+        assert derived.covers(observed)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_chain3_soundness(self, seed):
+        chain3 = chain3_program()
+        h = LinearDiscriminator((1, -1, 1))
+        derived = derive_network(chain3, v_r=(V, W, Z), v_e=(U, V, W), h=h)
+        import random
+        rng = random.Random(seed)
+        s_facts = [(rng.randrange(5), rng.randrange(5), rng.randrange(5))
+                   for _ in range(8)]
+        q_facts = [(rng.randrange(5), rng.randrange(5)) for _ in range(10)]
+        database = Database.from_facts({"s": s_facts, "q": q_facts})
+        observed = self._observed(chain3, (V, W, Z), (U, V, W), h, database)
+        assert derived.covers(observed)
+
+
+class TestDerivationErrors:
+    def test_non_composable_discriminator_rejected(self, example6):
+        with pytest.raises(NetworkDerivationError):
+            derive_network(example6, v_r=(Y, Z), v_e=(X, Y),
+                           h=HashDiscriminator((0, 1)))
+
+    def test_symbol_budget_enforced(self, example6):
+        with pytest.raises(NetworkDerivationError):
+            derive_network(example6, v_r=(Y, Z), v_e=(X, Y),
+                           h=TupleDiscriminator(2), max_symbols=1)

@@ -1,0 +1,63 @@
+"""Tests for the linear-system network derivation (Example 7)."""
+
+from repro.datalog import Variable
+from repro.network import build_linear_system
+from repro.workloads import chain3_program
+
+U, V, W, Z = Variable("U"), Variable("V"), Variable("W"), Variable("Z")
+
+
+class TestBuildLinearSystem:
+    def _systems(self):
+        return build_linear_system(chain3_program(), v_r=(V, W, Z),
+                                   v_e=(U, V, W), coefficients=(1, -1, 1))
+
+    def test_two_scenarios(self):
+        systems = self._systems()
+        assert [system.label for system in systems] == ["exit", "recursive"]
+
+    def test_recursive_scenario_matches_paper_equations(self):
+        """Equations (4) and (5): x1-x2+x3 = v and x2-x3+x4 = u."""
+        recursive = self._systems()[1]
+        assert recursive.symbols == 4
+        assert recursive.consumer_row == (1, -1, 1, 0)
+        assert recursive.producer_row == (0, 1, -1, 1)
+
+    def test_exit_scenario_is_trivially_diagonal(self):
+        exit_system = self._systems()[0]
+        assert exit_system.consumer_row == exit_system.producer_row
+        assert exit_system.solve(2) <= {(u, u) for u in (-1, 0, 1, 2)}
+
+    def test_render_matches_paper_notation(self):
+        recursive = self._systems()[1]
+        text = recursive.render()
+        assert "x1 - x2 + x3 = v" in text
+        assert "x2 - x3 + x4 = u" in text
+
+    def test_render_with_modulus_and_coefficients(self):
+        systems = build_linear_system(chain3_program(), v_r=(V, W, Z),
+                                      v_e=(U, V, W), coefficients=(2, 0, -1),
+                                      modulus=3)
+        text = systems[1].render()
+        assert "mod 3" in text
+        assert "2*x" in text
+
+    def test_solve_respects_equalities(self):
+        from repro.network.linear import LinearSystem
+        system = LinearSystem(symbols=2, consumer_row=(1, 0),
+                              producer_row=(0, 1), equalities=((0, 1),),
+                              label="test", modulus=None)
+        assert system.solve(2) == {(0, 0), (1, 1)}
+
+    def test_zero_symbol_system(self):
+        from repro.network.linear import LinearSystem
+        system = LinearSystem(symbols=0, consumer_row=(), producer_row=(),
+                              equalities=(), label="test", modulus=None)
+        assert system.solve(2) == {(0, 0)}
+
+    def test_mismatched_coefficients_rejected(self):
+        import pytest
+        from repro.errors import NetworkDerivationError
+        with pytest.raises(NetworkDerivationError):
+            build_linear_system(chain3_program(), v_r=(V, W, Z),
+                                v_e=(U, V, W), coefficients=(1, -1))

@@ -1,0 +1,49 @@
+"""Tests for the network graph type."""
+
+import pytest
+
+from repro.network import NetworkGraph
+
+
+class TestNetworkGraph:
+    def test_edges_with_and_without_self_loops(self):
+        graph = NetworkGraph([0, 1], [(0, 0), (0, 1)])
+        assert graph.edges() == {(0, 0), (0, 1)}
+        assert graph.edges(include_self=False) == {(0, 1)}
+
+    def test_add_edge_validates_nodes(self):
+        graph = NetworkGraph([0, 1])
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 9)
+
+    def test_has_edge(self):
+        graph = NetworkGraph([0, 1], [(0, 1)])
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_degree_summary(self):
+        graph = NetworkGraph([0, 1, 2], [(0, 1), (1, 2), (1, 1)])
+        assert graph.degree_summary() == (2, 6)
+
+    def test_subset_and_covers(self):
+        small = NetworkGraph([0, 1, 2], [(0, 1)])
+        big = NetworkGraph([0, 1, 2], [(0, 1), (1, 2)])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+        assert big.covers([(0, 1), (2, 2)])  # self edges always covered
+        assert not small.covers([(1, 2)])
+
+    def test_tuple_processor_ids(self):
+        graph = NetworkGraph([(0, 0), (0, 1)], [((0, 0), (0, 1))])
+        assert graph.has_edge((0, 0), (0, 1))
+        assert (0, 0) in graph.processors
+
+    def test_equality(self):
+        assert NetworkGraph([0, 1], [(0, 1)]) == NetworkGraph([0, 1], [(0, 1)])
+        assert NetworkGraph([0, 1], [(0, 1)]) != NetworkGraph([0, 1])
+
+    def test_to_ascii_lists_remote_successors(self):
+        graph = NetworkGraph([0, 1], [(0, 1), (0, 0)])
+        text = graph.to_ascii()
+        assert "0 -> 1" in text
+        assert "1 -> (none)" in text

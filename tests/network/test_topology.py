@@ -1,0 +1,95 @@
+"""Tests for physical topologies and embedding checks."""
+
+import pytest
+
+from repro.datalog import Variable
+from repro.network import (
+    NetworkGraph,
+    complete_topology,
+    derive_network,
+    embeds_identity,
+    find_embedding,
+    hypercube_topology,
+    mesh_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.parallel import TupleDiscriminator
+from repro.workloads import example6_program
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestTopologies:
+    def test_complete(self):
+        topo = complete_topology([0, 1, 2])
+        assert topo.degree_summary() == (6, 6)
+
+    def test_ring_directed(self):
+        topo = ring_topology([0, 1, 2], bidirectional=False)
+        assert topo.has_edge(0, 1)
+        assert topo.has_edge(2, 0)
+        assert not topo.has_edge(1, 0)
+
+    def test_ring_bidirectional(self):
+        topo = ring_topology([0, 1, 2])
+        assert topo.has_edge(1, 0)
+
+    def test_star(self):
+        topo = star_topology([0, 1, 2, 3])
+        assert topo.has_edge(0, 3)
+        assert topo.has_edge(3, 0)
+        assert not topo.has_edge(1, 2)
+
+    def test_mesh(self):
+        topo = mesh_topology(2, 2)
+        assert topo.has_edge((0, 0), (0, 1))
+        assert topo.has_edge((1, 0), (0, 0))
+        assert not topo.has_edge((0, 0), (1, 1))
+
+    def test_hypercube(self):
+        topo = hypercube_topology(2)
+        assert topo.has_edge((0, 0), (0, 1))
+        assert topo.has_edge((0, 0), (1, 0))
+        assert not topo.has_edge((0, 0), (1, 1))
+
+
+class TestEmbedding:
+    def test_identity_embedding_in_complete(self):
+        network = NetworkGraph([0, 1, 2], [(0, 1), (1, 2)])
+        assert embeds_identity(network, complete_topology([0, 1, 2]))
+
+    def test_identity_embedding_missing_link(self):
+        network = NetworkGraph([0, 1, 2], [(0, 2)])
+        topo = ring_topology([0, 1, 2], bidirectional=False)
+        assert not embeds_identity(network, topo)
+
+    def test_example6_does_not_fit_2cube_directly(self):
+        network = derive_network(example6_program(), v_r=(Y, Z), v_e=(X, Y),
+                                 h=TupleDiscriminator(2))
+        assert not embeds_identity(network, hypercube_topology(2))
+
+    def test_find_embedding_by_renaming(self):
+        network = NetworkGraph(["a", "b"], [("a", "b")])
+        topo = ring_topology([0, 1, 2], bidirectional=False)
+        mapping = find_embedding(network, topo)
+        assert mapping is not None
+        assert topo.has_edge(mapping["a"], mapping["b"])
+
+    def test_find_embedding_impossible(self):
+        network = NetworkGraph([0, 1, 2],
+                               [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2),
+                                (2, 0)])
+        topo = ring_topology(["x", "y", "z"], bidirectional=False)
+        assert find_embedding(network, topo) is None
+
+    def test_find_embedding_too_many_nodes(self):
+        network = NetworkGraph(range(3))
+        topo = complete_topology(range(12))
+        with pytest.raises(ValueError):
+            find_embedding(network, topo, max_nodes=8)
+
+    def test_network_larger_than_topology(self):
+        network = NetworkGraph(range(4))
+        topo = complete_topology(range(2))
+        assert find_embedding(network, topo) is None

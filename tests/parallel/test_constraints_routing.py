@@ -1,0 +1,104 @@
+"""Tests for hash constraints and tuple routing."""
+
+import pytest
+
+from repro.datalog import Atom, Constant, Substitution, Variable
+from repro.errors import RoutingError
+from repro.facts import ArbitraryFragmentation
+from repro.parallel import (
+    HashConstraint,
+    HashDiscriminator,
+    PartitionDiscriminator,
+    Route,
+    route_positions,
+)
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestHashConstraint:
+    def test_satisfied_at_exactly_one_target(self):
+        h = HashDiscriminator((0, 1, 2))
+        binding = Substitution({Y: Constant(7)})
+        matches = [target for target in (0, 1, 2)
+                   if HashConstraint(h, (Y,), target).satisfied(binding)]
+        assert matches == [h((7,))]
+
+    def test_variables_deduplicated(self):
+        h = HashDiscriminator((0, 1))
+        constraint = HashConstraint(h, (Y, Y, Z), 0)
+        assert constraint.variables == (Y, Z)
+
+    def test_sequence_order_matters_for_hash(self):
+        h = HashDiscriminator((0, 1, 2, 3, 4, 5, 6, 7))
+        binding = Substitution({Y: Constant(1), Z: Constant(2)})
+        forward = HashConstraint(h, (Y, Z), h((1, 2))).satisfied(binding)
+        assert forward
+
+    def test_unbound_variable_raises(self):
+        constraint = HashConstraint(HashDiscriminator((0,)), (Y,), 0)
+        with pytest.raises(RoutingError):
+            constraint.satisfied(Substitution.empty())
+
+    def test_partition_discriminator_unknown_tuple_is_false(self):
+        h = PartitionDiscriminator(ArbitraryFragmentation({}), (0,))
+        constraint = HashConstraint(h, (Y,), 0)
+        binding = Substitution({Y: Constant(9)})
+        assert constraint.satisfied(binding) is False
+
+    def test_str(self):
+        constraint = HashConstraint(HashDiscriminator((0,)), (Y, Z), 0)
+        assert str(constraint) == "h(Y, Z) = 0"
+
+
+class TestRoutePositions:
+    def test_all_present(self):
+        assert route_positions((Y,), Atom("anc", (Z, Y))) == (1,)
+        assert route_positions((Z, Y), Atom("anc", (Z, Y))) == (0, 1)
+
+    def test_missing_variable_means_broadcast(self):
+        assert route_positions((X, Z), Atom("anc", (Z, Y))) is None
+
+    def test_empty_sequence(self):
+        assert route_positions((), Atom("anc", (Z, Y))) == ()
+
+
+class TestRoute:
+    def _route(self, positions):
+        return Route(predicate="anc", pattern=Atom("anc", (Z, Y)),
+                     positions=positions,
+                     discriminator=HashDiscriminator((0, 1, 2)))
+
+    def test_point_to_point(self):
+        route = self._route((0,))
+        targets = route.targets((5, 6))
+        assert targets == (HashDiscriminator((0, 1, 2))((5,)),)
+
+    def test_broadcast(self):
+        route = self._route(None)
+        assert set(route.targets((5, 6))) == {0, 1, 2}
+        assert route.is_broadcast()
+
+    def test_arity_mismatch_no_targets(self):
+        assert self._route((0,)).targets((5, 6, 7)) == ()
+
+    def test_constant_pattern_filters(self):
+        route = Route(predicate="p", pattern=Atom("p", (Constant(1), Y)),
+                      positions=(1,),
+                      discriminator=HashDiscriminator((0, 1)))
+        assert route.targets((1, 5)) != ()
+        assert route.targets((2, 5)) == ()
+
+    def test_repeated_variable_pattern_filters(self):
+        route = Route(predicate="p", pattern=Atom("p", (Y, Y)),
+                      positions=(0,),
+                      discriminator=HashDiscriminator((0, 1)))
+        assert route.targets((3, 3)) != ()
+        assert route.targets((3, 4)) == ()
+
+    def test_partition_discriminator_unknown_tuple_no_targets(self):
+        h = PartitionDiscriminator(ArbitraryFragmentation({(9,): 0}), (0, 1))
+        route = Route(predicate="p", pattern=Atom("p", (Y,)),
+                      positions=(0,), discriminator=h)
+        assert route.targets((9,)) == (0,)
+        assert route.targets((7,)) == ()

@@ -1,0 +1,160 @@
+"""Tests for discriminating functions."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.facts import ArbitraryFragmentation
+from repro.parallel import (
+    ConstantDiscriminator,
+    HashDiscriminator,
+    LinearDiscriminator,
+    LocalRetentionFamily,
+    ModuloDiscriminator,
+    PartitionDiscriminator,
+    TupleDiscriminator,
+    UniformFamily,
+    binary_g,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_salt_changes_value(self):
+        assert stable_hash("x", salt=0) != stable_hash("x", salt=1)
+
+    def test_binary_g_range(self):
+        assert all(binary_g(value) in (0, 1) for value in range(100))
+
+
+class TestHashDiscriminator:
+    def test_maps_into_processor_set(self):
+        h = HashDiscriminator(("a", "b", "c"))
+        assert all(h((value,)) in ("a", "b", "c") for value in range(50))
+
+    def test_deterministic(self):
+        h = HashDiscriminator((0, 1, 2, 3))
+        assert h((5, 6)) == h((5, 6))
+
+    def test_roughly_uniform(self):
+        h = HashDiscriminator(range(4))
+        counts = {p: 0 for p in range(4)}
+        for value in range(4000):
+            counts[h((value,))] += 1
+        assert all(700 < count < 1300 for count in counts.values())
+
+    def test_empty_processors_rejected(self):
+        with pytest.raises(RoutingError):
+            HashDiscriminator(())
+
+
+class TestModuloDiscriminator:
+    def test_integer_sum(self):
+        h = ModuloDiscriminator((0, 1, 2))
+        assert h((4,)) == 1
+        assert h((1, 1)) == 2
+
+    def test_symmetric_under_permutation(self):
+        h = ModuloDiscriminator(range(5))
+        assert h((3, 7, 11)) == h((11, 3, 7))
+
+    def test_non_integer_values(self):
+        h = ModuloDiscriminator(range(3))
+        assert h(("a", "b")) == h(("b", "a"))
+
+
+class TestTupleDiscriminator:
+    def test_processor_set_is_tuple_space(self):
+        h = TupleDiscriminator(2)
+        assert set(h.processors) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_result_is_g_tuple(self):
+        h = TupleDiscriminator(2)
+        result = h(("a", "b"))
+        assert result == (binary_g("a"), binary_g("b"))
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(RoutingError):
+            TupleDiscriminator(2)(("a",))
+
+    def test_compose_g(self):
+        assert TupleDiscriminator(3).compose_g((1, 0, 1)) == (1, 0, 1)
+
+
+class TestLinearDiscriminator:
+    def test_range_is_exact(self):
+        h = LinearDiscriminator((1, -1, 1))
+        assert set(h.processors) == {-1, 0, 1, 2}
+
+    def test_value_matches_paper_formula(self):
+        h = LinearDiscriminator((1, -1, 1))
+        expected = binary_g("a") - binary_g("b") + binary_g("c")
+        assert h(("a", "b", "c")) == expected
+
+    def test_modulus_folds_range(self):
+        h = LinearDiscriminator((1, 1), modulus=2)
+        assert set(h.processors) <= {0, 1}
+
+    def test_compose_g(self):
+        h = LinearDiscriminator((1, -1, 1))
+        assert h.compose_g((1, 1, 0)) == 0
+        assert h.compose_g((1, 0, 1)) == 2
+
+
+class TestPartitionDiscriminator:
+    def test_owner_matches_partition(self):
+        partition = ArbitraryFragmentation({(1, 2): "a", (3, 4): "b"})
+        h = PartitionDiscriminator(partition, ("a", "b"))
+        assert h((1, 2)) == "a"
+        assert h((3, 4)) == "b"
+
+    def test_unknown_tuple_raises(self):
+        h = PartitionDiscriminator(ArbitraryFragmentation({}), ("a",))
+        with pytest.raises(RoutingError):
+            h((9, 9))
+        assert not h.contains((9, 9))
+
+
+class TestConstantDiscriminator:
+    def test_always_target(self):
+        h = ConstantDiscriminator((0, 1, 2), target=1)
+        assert all(h((value,)) == 1 for value in range(10))
+
+    def test_target_must_be_processor(self):
+        with pytest.raises(RoutingError):
+            ConstantDiscriminator((0, 1), target=9)
+
+
+class TestFamilies:
+    def test_uniform_family(self):
+        h = HashDiscriminator((0, 1))
+        family = UniformFamily(h)
+        assert family.member(0) is h
+        assert family.member(1) is h
+        assert family.is_uniform()
+
+    def test_retention_zero_is_uniform(self):
+        base = HashDiscriminator((0, 1))
+        family = LocalRetentionFamily(base, keep_fraction=0.0)
+        assert family.is_uniform()
+        assert family.member(0) is base
+
+    def test_retention_one_keeps_everything_local(self):
+        base = HashDiscriminator((0, 1, 2))
+        family = LocalRetentionFamily(base, keep_fraction=1.0)
+        member = family.member(2)
+        assert all(member((value,)) == 2 for value in range(20))
+
+    def test_retention_fraction_roughly_respected(self):
+        base = HashDiscriminator(range(4))
+        family = LocalRetentionFamily(base, keep_fraction=0.5, salt=3)
+        member = family.member(0)
+        kept = sum(1 for value in range(2000) if member((value,)) == 0)
+        # 50% retention plus ~25% of the remainder hashing home anyway.
+        assert 1000 < kept < 1500
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(RoutingError):
+            LocalRetentionFamily(HashDiscriminator((0,)), keep_fraction=1.5)

@@ -1,0 +1,95 @@
+"""Unit tests for parallel metrics and the cost model."""
+
+import pytest
+
+from repro.parallel import CostModel, ParallelMetrics
+
+
+def _metrics() -> ParallelMetrics:
+    metrics = ParallelMetrics(scheme="test", processors=(0, 1))
+    metrics.rounds = 2
+    metrics.firings = {0: 10, 1: 6}
+    metrics.probes = {0: 4, 1: 2}
+    metrics.sent[(0, 1)] = 5
+    metrics.sent[(1, 0)] = 0
+    metrics.self_delivered[0] = 3
+    metrics.per_round_work = [{0: 8.0, 1: 2.0}, {0: 6.0, 1: 6.0}]
+    metrics.per_round_sent = [{0: 3, 1: 0}, {0: 2, 1: 0}]
+    metrics.per_round_received = [{1: 3}, {1: 2}]
+    return metrics
+
+
+class TestAggregates:
+    def test_totals(self):
+        metrics = _metrics()
+        assert metrics.total_firings() == 16
+        assert metrics.total_work() == 22
+        assert metrics.total_sent() == 5
+        assert metrics.total_self_delivered() == 3
+
+    def test_used_channels_excludes_empty(self):
+        assert _metrics().used_channels() == {(0, 1)}
+
+    def test_redundancy(self):
+        metrics = _metrics()
+        assert metrics.redundancy_vs(16) == 0
+        assert metrics.redundancy_vs(10) == 6
+        assert metrics.redundancy_vs(20) == -4
+
+
+class TestCostModel:
+    def test_makespan_is_sum_of_round_peaks(self):
+        metrics = _metrics()
+        # Round 1: max(8 + 3, 2 + 3) = 11; round 2: max(6+2, 6+2) = 8.
+        assert metrics.makespan(CostModel(send_cost=1.0, recv_cost=1.0)) == 19
+
+    def test_round_overhead(self):
+        metrics = _metrics()
+        base = metrics.makespan(CostModel())
+        assert metrics.makespan(CostModel(round_overhead=5.0)) == base + 10
+
+    def test_speedup(self):
+        metrics = _metrics()
+        span = metrics.makespan()
+        assert metrics.speedup_vs(2 * span) == pytest.approx(2.0)
+
+    def test_speedup_zero_span(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0,))
+        assert metrics.speedup_vs(10) == float("inf")
+        assert metrics.speedup_vs(0) == 1.0
+
+
+class TestFairness:
+    def test_perfect_balance(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        metrics.firings = {0: 5, 1: 5}
+        metrics.probes = {0: 0, 1: 0}
+        assert metrics.load_balance() == pytest.approx(1.0)
+
+    def test_total_imbalance(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        metrics.firings = {0: 10, 1: 0}
+        assert metrics.load_balance() == pytest.approx(0.5)
+
+    def test_no_work_is_balanced(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        assert metrics.load_balance() == 1.0
+
+    def test_utilisation_no_rounds(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        assert metrics.utilisation() == 1.0
+
+    def test_utilisation_mixed(self):
+        metrics = _metrics()
+        # Round 1: mean 5 / peak 8; round 2: mean 6 / peak 6.
+        assert metrics.utilisation() == pytest.approx((5 / 8 + 1.0) / 2)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        summary = _metrics().summary()
+        for key in ("scheme", "processors", "rounds", "firings", "sent",
+                    "self_delivered", "channels_used", "load_balance"):
+            assert key in summary
+        assert summary["processors"] == 2
+        assert summary["sent"] == 5

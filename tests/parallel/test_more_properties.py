@@ -1,0 +1,142 @@
+"""Further randomised properties of the parallelisation schemes."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import parse_program
+from repro.engine import evaluate
+from repro.facts import ArbitraryFragmentation, Database
+from repro.parallel import (
+    HashDiscriminator,
+    RuleSpec,
+    example1_scheme,
+    example2_scheme,
+    rewrite_general,
+    run_parallel,
+)
+from repro.workloads import (
+    nonlinear_ancestor_program,
+    reverse_chain_program,
+    same_generation_program,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(1, 10), st.integers(1, 10)),
+    min_size=1, max_size=25).map(lambda edges: sorted(set(edges)))
+
+
+def _par_db(edges):
+    database = Database()
+    database.declare("par", 2).update(edges)
+    return database
+
+
+class TestExample2RandomPartitions:
+    @given(edge_lists, st.integers(2, 4), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_any_partition_is_correct(self, edges, count, seed):
+        """Example 2's headline: correctness on ARBITRARY fragmentations."""
+        program = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+        """)
+        database = _par_db(edges)
+        processors = tuple(range(count))
+        rng = random.Random(seed)
+        partition = ArbitraryFragmentation(
+            {fact: rng.choice(processors)
+             for fact in database.relation("par")})
+        parallel = example2_scheme(program, processors, database,
+                                   partition=partition)
+        result = run_parallel(parallel, database)
+        expected = evaluate(program, database)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        # Still non-redundant despite the broadcast (paper, Example 2).
+        assert (result.metrics.total_firings()
+                <= expected.counters.total_firings())
+
+
+class TestTheorem3OtherCycles:
+    @given(edge_lists, st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_left_linear_self_loop(self, edges, count):
+        """Left-linear ancestor: cycle at position 1, not 2."""
+        program = reverse_chain_program()
+        database = _par_db(edges)
+        parallel = example1_scheme(program, tuple(range(count)))
+        result = run_parallel(parallel, database)
+        assert result.metrics.total_sent() == 0
+        expected = evaluate(program, database)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    @given(edge_lists, st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_three_cycle(self, edges, count):
+        """A rule whose dataflow graph is the 3-cycle 1 -> 2 -> 3 -> 1:
+        Theorem 3's construction needs the shift-invariant hash."""
+        program = parse_program("""
+            p(X, Y, Z) :- q(X, Y, Z).
+            p(X, Y, Z) :- p(Y, Z, X), r(X).
+        """)
+        database = Database()
+        database.declare("q", 3).update(
+            [(a, b, a + b) for a, b in edges])
+        database.declare("r", 1).update(
+            [(a,) for a, _b in edges] + [(b,) for _a, b in edges])
+        parallel = example1_scheme(program, tuple(range(count)))
+        result = run_parallel(parallel, database)
+        assert result.metrics.total_sent() == 0
+        expected = evaluate(program, database)
+        assert (result.relation("p").as_set()
+                == expected.relation("p").as_set())
+
+
+@st.composite
+def random_general_specs(draw, program, processors):
+    """Random legal per-rule specs for the general rewrite."""
+    shared_h = HashDiscriminator(processors, salt=draw(st.integers(0, 50)))
+    specs = {}
+    for index, rule in enumerate(program.proper_rules()):
+        body_vars = list(rule.body_variables())
+        sequence = tuple(draw(st.lists(st.sampled_from(body_vars),
+                                       min_size=0, max_size=2)))
+        specs[index] = RuleSpec(sequence, shared_h)
+    return specs
+
+
+class TestGeneralSchemeRandomSpecs:
+    @given(st.data(), edge_lists, st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_any_specs_correct_and_nonredundant(self, data, edges, count):
+        program = nonlinear_ancestor_program()
+        processors = tuple(range(count))
+        specs = data.draw(random_general_specs(program, processors))
+        database = _par_db(edges)
+        parallel = rewrite_general(program, processors, specs)
+        result = run_parallel(parallel, database)
+        expected = evaluate(program, database)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert (result.metrics.total_firings()
+                <= expected.counters.total_firings())
+
+    @given(edge_lists, edge_lists, st.integers(2, 3), st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_same_generation_with_delay(self, up_down, flat, count, seed):
+        """Asynchrony injection never changes the pooled answer."""
+        program = same_generation_program()
+        database = Database()
+        database.declare("up", 2).update(up_down)
+        database.declare("down", 2).update(
+            [(b, a) for a, b in up_down])
+        database.declare("flat", 2).update(flat)
+        parallel = rewrite_general(program, tuple(range(count)))
+        delayed = run_parallel(parallel, database, delay_probability=0.4,
+                               seed=seed)
+        expected = evaluate(program, database)
+        assert (delayed.relation("sg").as_set()
+                == expected.relation("sg").as_set())

@@ -1,0 +1,84 @@
+"""Tests for the real multiprocessing executor."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.parallel import (
+    example1_scheme,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    rewrite_general,
+    wolfson_scheme,
+)
+from repro.parallel.mp import run_multiprocessing
+
+
+@pytest.mark.mp
+class TestMultiprocessing:
+    def test_example3_matches_sequential(self, ancestor, tree_db):
+        result = run_multiprocessing(
+            example3_scheme(ancestor, (0, 1, 2)), tree_db, timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.wall_seconds > 0
+
+    def test_example1_no_data_messages(self, ancestor, chain_db):
+        result = run_multiprocessing(
+            example1_scheme(ancestor, (0, 1)), chain_db, timeout=60)
+        expected = evaluate(ancestor, chain_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.metrics.total_sent() == 0
+
+    def test_example2_broadcasts(self, ancestor, chain_db):
+        result = run_multiprocessing(
+            example2_scheme(ancestor, (0, 1, 2), chain_db), chain_db,
+            timeout=60)
+        expected = evaluate(ancestor, chain_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.metrics.total_sent() > 0
+
+    def test_wolfson_redundant_but_correct(self, ancestor, dag_db):
+        result = run_multiprocessing(
+            wolfson_scheme(ancestor, (0, 1)), dag_db, timeout=60)
+        expected = evaluate(ancestor, dag_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_general_scheme_nonlinear(self, nonlinear_ancestor, tree_db):
+        result = run_multiprocessing(
+            rewrite_general(nonlinear_ancestor, (0, 1)), tree_db, timeout=60)
+        expected = evaluate(nonlinear_ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_firings_match_simulator(self, ancestor, tree_db):
+        from repro.parallel import run_parallel
+        program = example3_scheme(ancestor, (0, 1, 2))
+        mp_result = run_multiprocessing(program, tree_db, timeout=60)
+        sim_result = run_parallel(program, tree_db)
+        assert (mp_result.metrics.total_firings()
+                == sim_result.metrics.total_firings())
+        assert (mp_result.metrics.total_sent()
+                == sim_result.metrics.total_sent())
+
+    def test_single_processor(self, ancestor, chain_db):
+        result = run_multiprocessing(hash_scheme(ancestor, (0,)), chain_db,
+                                     timeout=60)
+        expected = evaluate(ancestor, chain_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_empty_database(self, ancestor):
+        from repro.facts import Database
+        result = run_multiprocessing(example3_scheme(ancestor, (0, 1)),
+                                     Database(), timeout=60)
+        assert len(result.relation("anc")) == 0
+
+    def test_probe_overhead_reported(self, ancestor, chain_db):
+        result = run_multiprocessing(example3_scheme(ancestor, (0, 1)),
+                                     chain_db, timeout=60)
+        assert result.metrics.control_messages >= 4  # >= two probe waves

@@ -1,0 +1,48 @@
+"""Tests for multiprocessing internals: protocol, stats, crash handling."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.parallel import example3_scheme
+from repro.parallel.mp import WorkerStats, run_multiprocessing
+from repro.workloads import ancestor_program
+
+
+class TestWorkerStats:
+    def test_total_sent(self):
+        stats = WorkerStats()
+        stats.sent_by_target = {1: 5, 2: 3}
+        assert stats.total_sent() == 8
+
+    def test_defaults(self):
+        stats = WorkerStats()
+        assert stats.firings == 0
+        assert stats.received == 0
+        assert stats.total_sent() == 0
+
+
+@pytest.mark.mp
+class TestCrashHandling:
+    def test_worker_crash_surfaces_as_execution_error(self, chain_db):
+        from repro.datalog import Atom, Rule, Variable
+        from repro.parallel.naming import out_name
+
+        parallel = example3_scheme(ancestor_program(), (0, 1))
+        # Sabotage processor 1: its init rule reads a relation that no
+        # fragment spec provides, so the worker crashes at start-up.
+        X, Y = Variable("X"), Variable("Y")
+        broken_rule = Rule(Atom(out_name("anc"), (X, Y)),
+                           (Atom("nowhere", (X, Y)),))
+        victim = parallel.programs[1]
+        parallel.programs[1] = dataclasses.replace(
+            victim, init_rules=(broken_rule,))
+        with pytest.raises(ExecutionError) as info:
+            run_multiprocessing(parallel, chain_db, timeout=30)
+        assert "crashed" in str(info.value)
+
+    def test_timeout_raises(self, chain_db):
+        parallel = example3_scheme(ancestor_program(), (0, 1))
+        with pytest.raises(ExecutionError):
+            run_multiprocessing(parallel, chain_db, timeout=0.000001)

@@ -1,0 +1,93 @@
+"""Unit tests for naming conventions and rewritten-program structures."""
+
+import pytest
+
+from repro.facts import Database, Relation
+from repro.parallel import FragmentSpec, HashDiscriminator
+from repro.parallel.naming import (
+    channel_name,
+    fragment_name,
+    in_name,
+    out_name,
+    processor_tag,
+    strip_decoration,
+)
+
+
+class TestNaming:
+    def test_processor_tags(self):
+        assert processor_tag(3) == "3"
+        assert processor_tag((0, 1)) == "0_1"
+        assert processor_tag(-1) == "m1"
+        assert processor_tag("node-a") == "nodema"
+
+    def test_in_out_names(self):
+        assert in_name("anc") == "anc@in"
+        assert in_name("anc", 2) == "anc@in@2"
+        assert out_name("anc") == "anc@out"
+        assert out_name("anc", (0, 1)) == "anc@out@0_1"
+
+    def test_channel_name(self):
+        assert channel_name("anc", 1, 2) == "anc@ch@1@2"
+
+    def test_fragment_name(self):
+        assert fragment_name("par", 3) == "par@frag@3"
+
+    def test_strip_decoration(self):
+        for decorated in ("anc@in@2", "anc@out", "anc@ch@1@2", "anc"):
+            assert strip_decoration(decorated) == "anc"
+
+    def test_decorated_names_unparseable(self):
+        """The @ decoration cannot collide with user predicates."""
+        from repro.datalog import parse_program
+        from repro.errors import DatalogSyntaxError
+        with pytest.raises(DatalogSyntaxError):
+            parse_program("anc@in(X, Y) :- par(X, Y).")
+
+
+class TestFragmentSpec:
+    def _relation(self):
+        return Relation("par", 2, [(i, i % 3) for i in range(9)])
+
+    def test_shared_fragment_is_full_copy(self):
+        spec = FragmentSpec(predicate="par", arity=2, local_name="par",
+                            kind="shared")
+        fragment = spec.local_fragment(self._relation(), 0)
+        assert len(fragment) == 9
+        assert fragment.name == "par"
+
+    def test_hash_fragment_selects_owned_tuples(self):
+        h = HashDiscriminator((0, 1, 2))
+        spec = FragmentSpec(predicate="par", arity=2, local_name="par@frag@0",
+                            kind="hash", positions=(1,), discriminator=h)
+        fragments = [spec.local_fragment(self._relation(), proc)
+                     for proc in (0, 1, 2)]
+        assert sum(len(f) for f in fragments) == 9
+        for proc, fragment in zip((0, 1, 2), fragments):
+            assert all(h((fact[1],)) == proc for fact in fragment)
+
+    def test_fragment_renames_relation(self):
+        spec = FragmentSpec(predicate="par", arity=2, local_name="par@frag@1",
+                            kind="shared")
+        assert spec.local_fragment(self._relation(), 0).name == "par@frag@1"
+
+
+class TestParallelProgramHelpers:
+    def test_local_database_missing_relation_is_empty(self):
+        from repro.parallel import example3_scheme
+        from repro.workloads import ancestor_program
+
+        parallel = example3_scheme(ancestor_program(), (0, 1))
+        local = parallel.local_database(0, Database())
+        names = local.names()
+        assert any(name.startswith("par") for name in names)
+        assert all(len(local.relation(name)) == 0 for name in names)
+
+    def test_routes_for_filters_by_predicate(self):
+        from repro.parallel import example3_scheme
+        from repro.workloads import ancestor_program
+
+        parallel = example3_scheme(ancestor_program(), (0, 1))
+        processor = parallel.program_for(0)
+        assert len(processor.routes_for("anc")) == 1
+        assert processor.routes_for("par") == ()

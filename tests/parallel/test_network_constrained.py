@@ -1,0 +1,69 @@
+"""Tests for executing on an imposed network graph (Section 5).
+
+The paper's Definition 3: an absent edge means the processors may not
+communicate, directly or indirectly.  Running a rewritten program on
+its own *derived* minimal network must succeed; running it on a
+topology missing a needed channel must fail loudly, not silently route
+around it.
+"""
+
+import pytest
+
+from repro.datalog import Variable
+from repro.engine import evaluate
+from repro.errors import ExecutionError
+from repro.facts import Database
+from repro.network import NetworkGraph, complete_topology, derive_network
+from repro.parallel import TupleDiscriminator, rewrite_linear_sirup, run_parallel
+from repro.workloads import example6_program, random_tree_edges
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def setting():
+    program = example6_program()
+    h = TupleDiscriminator(2)
+    parallel = rewrite_linear_sirup(program, tuple(h.processors),
+                                    v_r=(Y, Z), v_e=(X, Y), h=h)
+    database = Database.from_facts({
+        "q": random_tree_edges(20, seed=3),
+        "r": random_tree_edges(20, seed=4),
+    })
+    return program, parallel, database, h
+
+
+class TestNetworkConstrainedExecution:
+    def test_runs_on_derived_minimal_network(self, setting):
+        program, parallel, database, h = setting
+        derived = derive_network(program, v_r=(Y, Z), v_e=(X, Y), h=h)
+        result = run_parallel(parallel, database, network=derived)
+        expected = evaluate(program, database)
+        assert result.relation("p").as_set() == expected.relation(
+            "p").as_set()
+
+    def test_runs_on_complete_topology(self, setting):
+        _program, parallel, database, _h = setting
+        topo = complete_topology(parallel.processors)
+        run_parallel(parallel, database, network=topo)  # no error
+
+    def test_fails_on_missing_channel(self, setting):
+        _program, parallel, database, _h = setting
+        empty = NetworkGraph(parallel.processors)  # no channels at all
+        with pytest.raises(ExecutionError) as info:
+            run_parallel(parallel, database, network=empty)
+        assert "Definition 3" in str(info.value)
+
+    def test_zero_communication_scheme_runs_on_empty_network(self):
+        from repro.parallel import example1_scheme
+        from repro.workloads import ancestor_program
+
+        program = ancestor_program()
+        parallel = example1_scheme(program, (0, 1, 2))
+        database = Database.from_facts(
+            {"par": random_tree_edges(20, seed=5)})
+        empty = NetworkGraph(parallel.processors)
+        result = run_parallel(parallel, database, network=empty)
+        expected = evaluate(program, database)
+        assert result.relation("anc").as_set() == expected.relation(
+            "anc").as_set()

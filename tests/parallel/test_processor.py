@@ -1,0 +1,95 @@
+"""Unit tests for the per-processor runtime."""
+
+import pytest
+
+from repro.datalog import as_linear_sirup
+from repro.facts import Database
+from repro.parallel import HashDiscriminator, hash_scheme, rewrite_linear_sirup
+from repro.parallel.processor import ProcessorRuntime
+from repro.workloads import ancestor_program
+
+
+def _runtime(processors=(0,), proc=0, edges=((1, 2), (2, 3), (3, 4))):
+    program = ancestor_program()
+    sirup = as_linear_sirup(program)
+    h = HashDiscriminator(processors)
+    parallel = rewrite_linear_sirup(
+        program, processors,
+        v_r=sirup.recursive_atom.variables(),
+        v_e=sirup.exit_rule.head.variables(), h=h)
+    database = Database.from_facts({"par": list(edges)})
+    local = parallel.local_database(proc, database)
+    return ProcessorRuntime(parallel.program_for(proc), local), parallel
+
+
+class TestProcessorRuntime:
+    def test_initialize_emits_hashed_subset(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        emissions = runtime.initialize()
+        # Single processor: all par tuples pass the h'(...) = 0 filter.
+        assert sorted(fact for _pred, fact in emissions) == [
+            (1, 2), (2, 3), (3, 4)]
+        assert all(pred == "anc" for pred, _fact in emissions)
+
+    def test_initialize_partitions_across_processors(self):
+        first, _ = _runtime(processors=(0, 1), proc=0)
+        second, _ = _runtime(processors=(0, 1), proc=1)
+        got = ({fact for _p, fact in first.initialize()}
+               | {fact for _p, fact in second.initialize()})
+        assert got == {(1, 2), (2, 3), (3, 4)}
+        overlap = ({fact for _p, fact in first.initialize()}
+                   & {fact for _p, fact in second.initialize()})
+        assert overlap == set()  # second initialize() emits nothing new
+
+    def test_step_without_input_is_idle(self):
+        runtime, _parallel = _runtime()
+        runtime.initialize()
+        assert runtime.step() == []
+        assert not runtime.has_pending_input()
+
+    def test_step_fires_on_received_tuples(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        runtime.initialize()
+        runtime.receive("anc", [(2, 3)])
+        emissions = runtime.step()
+        assert ("anc", (1, 3)) in emissions
+
+    def test_duplicate_receives_dropped(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        runtime.initialize()
+        runtime.receive("anc", [(2, 3), (2, 3)])
+        runtime.step()
+        assert runtime.duplicates_dropped == 1
+        runtime.receive("anc", [(2, 3)])
+        assert runtime.step() == []  # already known: idle round
+        assert runtime.duplicates_dropped == 2
+
+    def test_emissions_deduplicated_against_out(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        emissions = runtime.initialize()
+        runtime.receive("anc", [(1, 2)])  # would re-derive nothing new
+        assert all(fact != (1, 2)
+                   for _pred, fact in runtime.step())
+        assert (1, 2) in runtime.output_relation("anc")
+        assert len(emissions) == 3
+
+    def test_remote_vs_local_receive_counters(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        runtime.receive("anc", [(2, 3)], remote=True)
+        runtime.receive("anc", [(3, 4)], remote=False)
+        assert runtime.received_total == 2
+        assert runtime.received_remote == 1
+
+    def test_work_done_monotone(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        before = runtime.work_done()
+        runtime.initialize()
+        after_init = runtime.work_done()
+        runtime.receive("anc", [(2, 3)])
+        runtime.step()
+        assert before <= after_init <= runtime.work_done()
+
+    def test_output_size(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        runtime.initialize()
+        assert runtime.output_size() == 3

@@ -1,0 +1,141 @@
+"""Tests for the Section 7 general rewrite."""
+
+import pytest
+
+from repro.datalog import Variable, parse_program
+from repro.errors import RewriteError
+from repro.parallel import (
+    HashDiscriminator,
+    RuleSpec,
+    auto_specs,
+    rewrite_general,
+    run_parallel,
+)
+from repro.parallel.naming import in_name, out_name
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestAutoSpecs:
+    def test_recursive_rule_uses_recursive_atom_vars(self, nonlinear_ancestor):
+        specs = auto_specs(nonlinear_ancestor, (0, 1))
+        recursive_spec = specs[1]
+        assert recursive_spec.sequence == (X, Z)
+
+    def test_exit_rule_uses_head_vars(self, nonlinear_ancestor):
+        specs = auto_specs(nonlinear_ancestor, (0, 1))
+        assert specs[0].sequence == (X, Y)
+
+    def test_shared_discriminator(self, nonlinear_ancestor):
+        specs = auto_specs(nonlinear_ancestor, (0, 1))
+        assert specs[0].discriminator is specs[1].discriminator
+
+
+class TestRewriteGeneral:
+    def test_example8_structure(self, nonlinear_ancestor):
+        """The paper's Example 8: v(r1) = <Y>, v(r2) = <Z>, shared h."""
+        h = HashDiscriminator((0, 1, 2))
+        specs = {0: RuleSpec((Y,), h), 1: RuleSpec((Z,), h)}
+        program = rewrite_general(nonlinear_ancestor, (0, 1, 2), specs)
+
+        processor = program.program_for(1)
+        # r1 has no derived body atom: it is an init rule.
+        assert len(processor.init_rules) == 1
+        assert len(processor.processing_rules) == 1
+        processing = processor.processing_rules[0]
+        assert processing.head.predicate == out_name("anc")
+        assert [a.predicate for a in processing.body] == [
+            in_name("anc"), in_name("anc")]
+        # Two sending rules, one per recursive occurrence, routing on
+        # position 2 (X, Z) and position 1 (Z, Y) respectively.
+        routes = processor.routes
+        assert len(routes) == 2
+        assert sorted(route.positions for route in routes) == [(0,), (1,)]
+
+    def test_example8_base_fragmented_by_y(self, nonlinear_ancestor):
+        h = HashDiscriminator((0, 1))
+        specs = {0: RuleSpec((Y,), h), 1: RuleSpec((Z,), h)}
+        program = rewrite_general(nonlinear_ancestor, (0, 1), specs)
+        assert program.fragmentation.requirements["par"] == "hash-partitioned"
+
+    def test_auto_specs_round_trip_correctness(self, nonlinear_ancestor,
+                                               dag_db):
+        from repro.engine import evaluate
+        program = rewrite_general(nonlinear_ancestor, (0, 1, 2))
+        result = run_parallel(program, dag_db)
+        expected = evaluate(nonlinear_ancestor, dag_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_multi_stratum_program(self, chain_db):
+        from repro.engine import evaluate
+        program_text = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+            reach10(X) :- anc(X, 10).
+        """)
+        program = rewrite_general(program_text, (0, 1))
+        result = run_parallel(program, chain_db)
+        expected = evaluate(program_text, chain_db)
+        for predicate in ("anc", "reach10"):
+            assert (result.relation(predicate).as_set()
+                    == expected.relation(predicate).as_set())
+
+    def test_mutually_recursive_program(self):
+        from repro.engine import evaluate
+        from repro.facts import Database
+        program_text = parse_program("""
+            even(X) :- zero(X).
+            odd(Y) :- even(X), succ(X, Y).
+            even(Y) :- odd(X), succ(X, Y).
+        """)
+        database = Database.from_facts({
+            "zero": [(0,)],
+            "succ": [(i, i + 1) for i in range(8)],
+        })
+        program = rewrite_general(program_text, (0, 1, 2))
+        result = run_parallel(program, database)
+        expected = evaluate(program_text, database)
+        for predicate in ("even", "odd"):
+            assert (result.relation(predicate).as_set()
+                    == expected.relation(predicate).as_set())
+
+    def test_same_generation(self, sg_program, sg_db):
+        from repro.engine import evaluate
+        program = rewrite_general(sg_program, (0, 1))
+        result = run_parallel(program, sg_db)
+        expected = evaluate(sg_program, sg_db)
+        assert result.relation("sg").as_set() == expected.relation(
+            "sg").as_set()
+
+    def test_missing_spec_rejected(self, nonlinear_ancestor):
+        h = HashDiscriminator((0,))
+        with pytest.raises(RewriteError):
+            rewrite_general(nonlinear_ancestor, (0,), {0: RuleSpec((Y,), h)})
+
+    def test_unknown_rule_index_rejected(self, nonlinear_ancestor):
+        h = HashDiscriminator((0,))
+        specs = {0: RuleSpec((Y,), h), 1: RuleSpec((Z,), h),
+                 7: RuleSpec((Y,), h)}
+        with pytest.raises(RewriteError):
+            rewrite_general(nonlinear_ancestor, (0,), specs)
+
+    def test_sequence_variable_not_in_body_rejected(self, nonlinear_ancestor):
+        h = HashDiscriminator((0,))
+        specs = {0: RuleSpec((Variable("Q"),), h), 1: RuleSpec((Z,), h)}
+        with pytest.raises(RewriteError):
+            rewrite_general(nonlinear_ancestor, (0,), specs)
+
+    def test_empty_sequence_pins_rule_to_one_processor(self, chain_db):
+        from repro.engine import evaluate
+        program_text = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+        """)
+        h = HashDiscriminator((0, 1))
+        specs = {0: RuleSpec((), h), 1: RuleSpec((Z,), h)}
+        program = rewrite_general(program_text, (0, 1), specs)
+        result = run_parallel(program, chain_db)
+        expected = evaluate(program_text, chain_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())

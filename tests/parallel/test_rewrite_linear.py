@@ -1,0 +1,160 @@
+"""Tests for the Section 3/6 linear-sirup rewrites."""
+
+import pytest
+
+from repro.datalog import Variable, as_linear_sirup, parse_program
+from repro.errors import RewriteError
+from repro.parallel import (
+    HashDiscriminator,
+    LocalRetentionFamily,
+    UniformFamily,
+    rewrite_linear_family,
+    rewrite_linear_sirup,
+)
+from repro.parallel.naming import in_name, out_name
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+@pytest.fixture
+def sirup(ancestor):
+    return as_linear_sirup(ancestor)
+
+
+def _rewrite(sirup, processors=(0, 1, 2), v_r=(Y,), v_e=(Y,), **kwargs):
+    h = HashDiscriminator(processors)
+    return rewrite_linear_sirup(sirup, processors, v_r, v_e, h, **kwargs)
+
+
+class TestRewriteLinear:
+    def test_one_program_per_processor(self, sirup):
+        program = _rewrite(sirup)
+        assert set(program.programs) == {0, 1, 2}
+        assert program.derived == ("anc",)
+
+    def test_processing_rule_structure(self, sirup):
+        program = _rewrite(sirup)
+        processing = program.program_for(1).processing_rules[0]
+        assert processing.head.predicate == out_name("anc")
+        body_preds = [atom.predicate for atom in processing.body]
+        assert in_name("anc") in body_preds
+        assert len(processing.constraints) == 1
+        assert processing.constraints[0].target == 1
+
+    def test_init_rule_structure(self, sirup):
+        program = _rewrite(sirup)
+        init = program.program_for(2).init_rules[0]
+        assert init.head.predicate == out_name("anc")
+        assert init.constraints[0].target == 2
+
+    def test_example1_choice_shares_base(self, sirup):
+        # v(r) = <Y> does not occur in par(X, Z): par must be shared.
+        program = _rewrite(sirup, v_r=(Y,), v_e=(Y,))
+        assert program.fragmentation.requirements["par"] == "shared"
+        shared_specs = [s for s in program.fragments if s.predicate == "par"]
+        assert all(spec.kind == "shared" for spec in shared_specs)
+
+    def test_example3_choice_fragments_base(self, sirup):
+        # v(r) = <Z> occurs in par(X, Z): par is hash-fragmented.
+        program = _rewrite(sirup, v_r=(Z,), v_e=(X,))
+        assert program.fragmentation.requirements["par"] == "hash-partitioned"
+        kinds = {spec.kind for spec in program.fragments
+                 if spec.predicate == "par"}
+        assert kinds == {"hash"}
+
+    def test_fragments_partition_the_relation(self, sirup, tree_db):
+        program = _rewrite(sirup, v_r=(Z,), v_e=(X,))
+        total = len(tree_db.relation("par"))
+        for spec in program.fragments:
+            sizes = sum(
+                len(spec.local_fragment(tree_db.relation("par"), proc))
+                for proc in program.processors)
+            assert sizes == total
+
+    def test_replication_factor(self, sirup, tree_db):
+        shared = _rewrite(sirup, v_r=(Y,), v_e=(Y,))
+        fragmented = _rewrite(sirup, v_r=(Z,), v_e=(X,))
+        assert shared.replication_factor(tree_db) == pytest.approx(3.0)
+        # Exit fragment + recursion fragment: each a full partition.
+        assert fragmented.replication_factor(tree_db) == pytest.approx(2.0)
+
+    def test_route_point_to_point_when_vr_in_body_atom(self, sirup):
+        program = _rewrite(sirup, v_r=(Y,), v_e=(Y,))
+        (route,) = program.program_for(0).routes
+        assert not route.is_broadcast()
+        assert route.positions == (1,)
+
+    def test_route_broadcast_when_vr_missing(self, sirup):
+        program = _rewrite(sirup, v_r=(X, Z), v_e=(X, Y))
+        (route,) = program.program_for(0).routes
+        assert route.is_broadcast()
+
+    def test_unknown_discriminating_variable_rejected(self, sirup):
+        with pytest.raises(RewriteError):
+            _rewrite(sirup, v_r=(Variable("Nope"),))
+
+    def test_head_only_variable_rejected(self):
+        # W appears in the head of the exit rule only... construct a
+        # sirup where a variable is missing from the recursive body.
+        program = parse_program("""
+            p(X, Y) :- q(X, Y).
+            p(X, Y) :- r(X, Z), p(Z, Y).
+        """)
+        sirup = as_linear_sirup(program)
+        with pytest.raises(RewriteError):
+            rewrite_linear_sirup(sirup, (0, 1), (Variable("W"),), (Y,),
+                                 HashDiscriminator((0, 1)))
+
+    def test_empty_processors_rejected(self, sirup):
+        h = HashDiscriminator((0,))
+        with pytest.raises(RewriteError):
+            rewrite_linear_sirup(sirup, (), (Y,), (Y,), h)
+
+    def test_duplicate_processors_rejected(self, sirup):
+        with pytest.raises(RewriteError):
+            _rewrite(sirup, processors=(0, 0))
+
+    def test_union_program_is_valid_datalog(self, sirup):
+        program = _rewrite(sirup, processors=(0, 1))
+        union = program.union
+        # init + processing + N sending + N receiving + pooling, per processor
+        assert len(union.rules) == 2 * (1 + 1 + 2 + 2 + 1)
+
+    def test_unknown_processor_lookup(self, sirup):
+        program = _rewrite(sirup)
+        with pytest.raises(RewriteError):
+            program.program_for(99)
+
+
+class TestRewriteFamily:
+    def test_processing_unconstrained(self, sirup):
+        base = HashDiscriminator((0, 1))
+        family = LocalRetentionFamily(base, keep_fraction=0.5)
+        program = rewrite_linear_family(sirup, (0, 1), v_e=(X, Y),
+                                        family=family, h_prime=base)
+        processing = program.program_for(0).processing_rules[0]
+        assert processing.constraints == ()
+
+    def test_bases_shared(self, sirup):
+        base = HashDiscriminator((0, 1))
+        program = rewrite_linear_family(
+            sirup, (0, 1), v_e=(X, Y),
+            family=UniformFamily(base), h_prime=base)
+        assert program.fragmentation.requirements["par"] == "shared"
+
+    def test_routes_resolved_per_sender(self, sirup):
+        base = HashDiscriminator((0, 1))
+        family = LocalRetentionFamily(base, keep_fraction=1.0)
+        program = rewrite_linear_family(sirup, (0, 1), v_e=(X, Y),
+                                        family=family, h_prime=base)
+        route0 = program.program_for(0).routes[0]
+        route1 = program.program_for(1).routes[0]
+        assert route0.targets((4, 5)) == (0,)
+        assert route1.targets((4, 5)) == (1,)
+
+    def test_vr_must_be_within_recursive_atom(self, sirup):
+        base = HashDiscriminator((0, 1))
+        with pytest.raises(RewriteError):
+            rewrite_linear_family(sirup, (0, 1), v_e=(X, Y),
+                                  family=UniformFamily(base), h_prime=base,
+                                  v_r=(X,))

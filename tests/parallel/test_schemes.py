@@ -1,0 +1,161 @@
+"""Tests for the named Section 4 / Section 6 schemes."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.engine import evaluate
+from repro.errors import RewriteError
+from repro.facts import ArbitraryFragmentation
+from repro.parallel import (
+    example1_scheme,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    position_scheme,
+    run_parallel,
+    tradeoff_scheme,
+    wolfson_scheme,
+)
+from repro.workloads import chain3_program
+
+PROCESSORS = (0, 1, 2, 3)
+
+
+def _check(program, parallel_program, database):
+    result = run_parallel(parallel_program, database)
+    expected = evaluate(program, database)
+    predicate = parallel_program.derived[0]
+    assert (result.relation(predicate).as_set()
+            == expected.relation(predicate).as_set())
+    return result
+
+
+class TestExample1:
+    def test_zero_communication(self, ancestor, dag_db):
+        result = _check(ancestor, example1_scheme(ancestor, PROCESSORS),
+                        dag_db)
+        assert result.metrics.total_sent() == 0
+        assert result.metrics.used_channels() == set()
+
+    def test_base_relation_shared(self, ancestor):
+        program = example1_scheme(ancestor, PROCESSORS)
+        assert program.fragmentation.requirements["par"] == "shared"
+
+    def test_left_linear_variant_also_communication_free(self, dag_db):
+        program_text = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- anc(X, Z), par(Z, Y).
+        """)
+        result = _check(program_text,
+                        example1_scheme(program_text, PROCESSORS), dag_db)
+        assert result.metrics.total_sent() == 0
+
+    def test_acyclic_dataflow_rejected(self):
+        with pytest.raises(RewriteError):
+            example1_scheme(chain3_program(), PROCESSORS)
+
+
+class TestExample2:
+    def test_arbitrary_partition_and_broadcast(self, ancestor, dag_db):
+        program = example2_scheme(ancestor, PROCESSORS, dag_db)
+        result = _check(ancestor, program, dag_db)
+        assert (program.fragmentation.requirements["par"]
+                == "arbitrary-partition")
+        # Every transmitted tuple is broadcast to all other processors.
+        assert result.metrics.broadcast_tuples > 0
+        assert result.metrics.total_sent() == (
+            result.metrics.broadcast_tuples * (len(PROCESSORS) - 1))
+
+    def test_respects_explicit_partition(self, ancestor, chain_db):
+        facts = sorted(chain_db.relation("par"))
+        partition = ArbitraryFragmentation(
+            {fact: PROCESSORS[index % 2] for index, fact in enumerate(facts)})
+        program = example2_scheme(ancestor, PROCESSORS, chain_db,
+                                  partition=partition)
+        _check(ancestor, program, chain_db)
+
+    def test_replication_factor_is_one(self, ancestor, dag_db):
+        program = example2_scheme(ancestor, PROCESSORS, dag_db)
+        assert program.replication_factor(dag_db) == pytest.approx(1.0)
+
+    def test_needs_single_base_atom(self, sg_program, sg_db):
+        with pytest.raises(RewriteError):
+            example2_scheme(sg_program, PROCESSORS, sg_db)
+
+    def test_missing_relation_rejected(self, ancestor):
+        from repro.facts import Database
+        with pytest.raises(RewriteError):
+            example2_scheme(ancestor, PROCESSORS, Database())
+
+
+class TestExample3:
+    def test_point_to_point_and_disjoint_fragments(self, ancestor, dag_db):
+        program = example3_scheme(ancestor, PROCESSORS)
+        result = _check(ancestor, program, dag_db)
+        assert result.metrics.broadcast_tuples == 0
+        assert program.fragmentation.requirements["par"] == "hash-partitioned"
+        assert result.metrics.total_sent() > 0
+
+    def test_communication_between_extremes(self, ancestor, dag_db):
+        ex2 = _check(ancestor, example2_scheme(ancestor, PROCESSORS, dag_db),
+                     dag_db)
+        ex3 = _check(ancestor, example3_scheme(ancestor, PROCESSORS), dag_db)
+        assert 0 < ex3.metrics.total_sent() < ex2.metrics.total_sent()
+
+    def test_explicit_position(self, ancestor, chain_db):
+        program = example3_scheme(ancestor, PROCESSORS, position=1)
+        _check(ancestor, program, chain_db)
+
+    def test_no_base_variable_rejected(self):
+        program_text = parse_program("""
+            p(X, Y) :- q(X, Y).
+            p(X, Y) :- p(Y, X), r(W, W).
+        """)
+        with pytest.raises(RewriteError):
+            example3_scheme(program_text, PROCESSORS)
+
+
+class TestPositionScheme:
+    def test_out_of_range_position(self, ancestor):
+        with pytest.raises(RewriteError):
+            position_scheme(ancestor, PROCESSORS, (3,))
+
+    def test_chain3_position_scheme_correct(self, chain3):
+        from repro.facts import Database
+        database = Database.from_facts({
+            "s": [(1, 2, 3), (2, 3, 4)],
+            "q": [(0, 4), (1, 5), (9, 3)],
+        })
+        program = position_scheme(chain3, PROCESSORS, (2,))
+        _check(chain3, program, database)
+
+
+class TestWolfsonAndTradeoff:
+    def test_wolfson_zero_communication_but_redundant(self, ancestor, dag_db):
+        result = _check(ancestor, wolfson_scheme(ancestor, PROCESSORS),
+                        dag_db)
+        sequential = evaluate(ancestor, dag_db)
+        assert result.metrics.total_sent() == 0
+        assert result.metrics.redundancy_vs(
+            sequential.counters.total_firings()) > 0
+
+    def test_tradeoff_zero_matches_section3(self, ancestor, dag_db):
+        result = _check(ancestor, tradeoff_scheme(ancestor, PROCESSORS, 0.0),
+                        dag_db)
+        sequential = evaluate(ancestor, dag_db)
+        assert result.metrics.redundancy_vs(
+            sequential.counters.total_firings()) == 0
+
+    def test_communication_decreases_with_retention(self, ancestor, dag_db):
+        sent = []
+        for fraction in (0.0, 0.5, 1.0):
+            program = tradeoff_scheme(ancestor, PROCESSORS, fraction)
+            result = run_parallel(program, dag_db)
+            sent.append(result.metrics.total_sent())
+        assert sent[0] > sent[1] > sent[2] == 0
+
+    def test_hash_scheme_non_redundant(self, ancestor, dag_db):
+        result = _check(ancestor, hash_scheme(ancestor, PROCESSORS), dag_db)
+        sequential = evaluate(ancestor, dag_db)
+        assert result.metrics.redundancy_vs(
+            sequential.counters.total_firings()) == 0

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+par(ann, bob).
+par(bob, cal).
+par(cal, dot).
+"""
+
+FACTS = """
+par(dot, eve).
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "anc.dl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.dl"
+    path.write_text(FACTS)
+    return str(path)
+
+
+class TestRunCommand:
+    def test_run_prints_answer(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        output = capsys.readouterr().out
+        assert "anc/2: 6 facts" in output
+        assert "anc(ann, dot)" in output
+
+    def test_run_with_extra_facts(self, program_file, facts_file, capsys):
+        assert main(["run", program_file, "--facts", facts_file]) == 0
+        output = capsys.readouterr().out
+        assert "anc/2: 10 facts" in output
+
+    def test_run_with_stats(self, program_file, capsys):
+        assert main(["run", program_file, "--stats"]) == 0
+        assert "firings: 6" in capsys.readouterr().out
+
+    def test_run_naive_method(self, program_file, capsys):
+        assert main(["run", program_file, "--method", "naive"]) == 0
+        assert "anc/2: 6 facts" in capsys.readouterr().out
+
+    def test_run_query_filter(self, program_file, capsys):
+        assert main(["run", program_file, "--query", "anc"]) == 0
+        assert "anc/2" in capsys.readouterr().out
+
+    def test_limit_truncates(self, program_file, capsys):
+        assert main(["run", program_file, "--limit", "2"]) == 0
+        assert "... (4 more)" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.dl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParallelCommand:
+    @pytest.mark.parametrize("scheme", [
+        "example1", "example2", "example3", "hash", "wolfson", "general"])
+    def test_every_scheme_checks_out(self, program_file, scheme, capsys):
+        code = main(["parallel", program_file, "--scheme", scheme,
+                     "-n", "3", "--check"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "matches sequential evaluation: True" in output
+
+    def test_tradeoff_scheme_with_keep(self, program_file, capsys):
+        code = main(["parallel", program_file, "--scheme", "tradeoff",
+                     "--keep", "0.5", "-n", "2", "--check"])
+        assert code == 0
+
+    def test_stats_summary(self, program_file, capsys):
+        assert main(["parallel", program_file, "--stats", "-n", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "rounds:" in output
+        assert "sent:" in output
+
+    def test_detect_termination(self, program_file, capsys):
+        assert main(["parallel", program_file, "-n", "2",
+                     "--detect-termination"]) == 0
+
+    @pytest.mark.mp
+    def test_mp_execution(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "2", "--mp", "--check"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "real multiprocessing run" in output
+        assert "matches sequential evaluation: True" in output
+
+
+class TestNetworkCommand:
+    def test_cycle_reported_and_no_channels(self, program_file, capsys):
+        assert main(["network", program_file]) == 0
+        output = capsys.readouterr().out
+        assert "cycle at positions (2,)" in output
+        assert "0 of 2 possible channels" in output
+
+    def test_explicit_positions(self, program_file, capsys):
+        assert main(["network", program_file, "--positions", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "v(r) = <Z>" in output
+
+    def test_linear_form(self, tmp_path, capsys):
+        path = tmp_path / "chain3.dl"
+        path.write_text("""
+            p(U, V, W) :- s(U, V, W).
+            p(U, V, W) :- p(V, W, Z), q(U, Z).
+        """)
+        assert main(["network", str(path), "--linear", "1,-1,1"]) == 0
+        output = capsys.readouterr().out
+        assert "acyclic" in output
+        assert "[-1, 0, 1, 2]" in output
+
+    def test_not_a_sirup_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- anc(X, Z), anc(Z, Y).
+        """)
+        assert main(["network", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestWorkloadsCommand:
+    def test_lists_kinds(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "chain" in output
+        assert "same-generation" in output

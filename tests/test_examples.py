@@ -1,0 +1,64 @@
+"""Integration tests: every example script runs end-to-end.
+
+The examples are the library's living documentation; these tests keep
+them from rotting as the API evolves.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name, argv=()):
+    """Import an example module fresh and call its main()."""
+    import importlib.util
+
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        _run_example("quickstart.py")
+        output = capsys.readouterr().out
+        assert "parallel answer matches: True" in output
+        assert "redundancy vs sequential: 0" in output
+
+    def test_parallel_transitive_closure(self, capsys):
+        _run_example("parallel_transitive_closure.py", ["60", "3"])
+        output = capsys.readouterr().out
+        assert "example1 (no comm)" in output
+        assert "yes" in output
+        assert "NO" not in output
+
+    def test_network_derivation(self, capsys):
+        _run_example("network_derivation.py")
+        output = capsys.readouterr().out
+        assert "1 -> 2 -> 3" in output
+        assert "x1 - x2 + x3 = v" in output
+        assert "Figure 3" in output
+
+    def test_tradeoff_explorer(self, capsys):
+        _run_example("tradeoff_explorer.py", ["60", "3"])
+        output = capsys.readouterr().out
+        assert "keep fraction" in output
+        assert "best retention fraction" in output
+
+    @pytest.mark.mp
+    def test_same_generation_company(self, capsys):
+        _run_example("same_generation_company.py")
+        output = capsys.readouterr().out
+        assert "answers match = True" in output
+        assert "real processes" in output

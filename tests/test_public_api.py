@@ -1,0 +1,74 @@
+"""Tests for the top-level public API surface and the error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart(self):
+        """The exact snippet from the README must work."""
+        from repro import Database, evaluate, parse_program
+        from repro.parallel import example3_scheme, run_parallel
+
+        program = parse_program("""
+            anc(X, Y) :- par(X, Y).
+            anc(X, Y) :- par(X, Z), anc(Z, Y).
+        """)
+        db = Database.from_facts({"par": [(1, 2), (2, 3), (3, 4)]})
+        sequential = evaluate(program, db)
+        parallel = run_parallel(example3_scheme(program, [0, 1, 2, 3]), db)
+        assert (parallel.relation("anc").as_set()
+                == sequential.relation("anc").as_set())
+
+    def test_subpackages_importable(self):
+        import repro.bench
+        import repro.datalog
+        import repro.engine
+        import repro.facts
+        import repro.network
+        import repro.parallel
+        import repro.parallel.mp
+        import repro.workloads
+
+    def test_parallel_all_exports_exist(self):
+        import repro.parallel as parallel
+        for name in parallel.__all__:
+            assert hasattr(parallel, name), name
+
+    def test_network_all_exports_exist(self):
+        import repro.network as network
+        for name in network.__all__:
+            assert hasattr(network, name), name
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            error_type = getattr(errors, name)
+            assert issubclass(error_type, errors.ReproError), name
+
+    def test_syntax_error_position_formatting(self):
+        error = errors.DatalogSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_unsafe_is_validation_error(self):
+        assert issubclass(errors.UnsafeRuleError,
+                          errors.ProgramValidationError)
+
+    def test_catching_base_class(self):
+        from repro import parse_program
+        with pytest.raises(errors.ReproError):
+            parse_program("p(X) :- q(X)")  # missing period

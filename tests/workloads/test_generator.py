@@ -1,0 +1,73 @@
+"""Tests for the workload registry and canonical programs."""
+
+import pytest
+
+from repro.datalog import as_linear_sirup, is_linear_sirup
+from repro.engine import evaluate
+from repro.workloads import (
+    ancestor_program,
+    chain3_program,
+    example6_program,
+    make_workload,
+    nonlinear_ancestor_program,
+    reverse_chain_program,
+    same_generation_database,
+    same_generation_program,
+    transitive_closure_program,
+    workload_kinds,
+)
+
+
+class TestPrograms:
+    def test_sirup_shapes(self):
+        assert is_linear_sirup(ancestor_program())
+        assert is_linear_sirup(transitive_closure_program())
+        assert is_linear_sirup(same_generation_program())
+        assert is_linear_sirup(chain3_program())
+        assert is_linear_sirup(example6_program())
+        assert is_linear_sirup(reverse_chain_program())
+        assert not is_linear_sirup(nonlinear_ancestor_program())
+
+    def test_chain3_arity(self):
+        assert as_linear_sirup(chain3_program()).arity == 3
+
+
+class TestWorkloads:
+    def test_kinds_registered(self):
+        kinds = workload_kinds()
+        for expected in ("chain", "cycle", "dag", "tree", "grid",
+                         "layered", "nonlinear-dag", "same-generation"):
+            assert expected in kinds
+
+    @pytest.mark.parametrize("kind", [
+        "chain", "cycle", "dag", "tree", "grid", "layered",
+        "nonlinear-dag", "same-generation"])
+    def test_every_kind_is_runnable(self, kind):
+        workload = make_workload(kind, 24, seed=1)
+        result = evaluate(workload.program, workload.database)
+        predicate = workload.program.derived_predicates[0]
+        assert len(result.relation(predicate)) > 0
+
+    def test_deterministic(self):
+        first = make_workload("dag", 30, seed=4)
+        second = make_workload("dag", 30, seed=4)
+        assert first.database.same_contents(second.database)
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_workload("nope", 10)
+
+    def test_names_carry_parameters(self):
+        assert make_workload("chain", 12).name == "chain-12"
+
+
+class TestSameGenerationDatabase:
+    def test_relations_present(self):
+        database = same_generation_database(pairs=2, depth=2, seed=0)
+        for name in ("up", "down", "flat"):
+            assert len(database.relation(name)) > 0
+
+    def test_produces_sg_tuples(self):
+        database = same_generation_database(pairs=2, depth=2, seed=0)
+        result = evaluate(same_generation_program(), database)
+        assert len(result.relation("sg")) > 0

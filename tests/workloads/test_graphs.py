@@ -1,0 +1,64 @@
+"""Tests for graph generators."""
+
+from repro.workloads import (
+    binary_tree_edges,
+    chain_edges,
+    cycle_edges,
+    grid_edges,
+    layered_dag_edges,
+    random_dag_edges,
+    random_graph_edges,
+    random_tree_edges,
+)
+
+
+class TestGenerators:
+    def test_chain(self):
+        assert chain_edges(3) == [(1, 2), (2, 3), (3, 4)]
+        assert chain_edges(0) == []
+
+    def test_cycle(self):
+        assert cycle_edges(3) == [(1, 2), (2, 3), (3, 1)]
+        assert cycle_edges(0) == []
+
+    def test_binary_tree(self):
+        edges = binary_tree_edges(2)
+        assert (1, 2) in edges and (1, 3) in edges
+        assert (3, 7) in edges
+
+    def test_random_tree_every_node_has_one_parent(self):
+        edges = random_tree_edges(30, seed=1)
+        children = [child for _parent, child in edges]
+        assert sorted(children) == list(range(2, 31))
+
+    def test_random_tree_deterministic(self):
+        assert random_tree_edges(30, seed=5) == random_tree_edges(30, seed=5)
+        assert random_tree_edges(30, seed=5) != random_tree_edges(30, seed=6)
+
+    def test_random_dag_is_acyclic(self):
+        edges = random_dag_edges(40, parents=3, seed=2)
+        assert all(parent < child for parent, child in edges)
+
+    def test_random_dag_multi_parent(self):
+        edges = random_dag_edges(40, parents=2, seed=2)
+        parent_counts = {}
+        for _parent, child in edges:
+            parent_counts[child] = parent_counts.get(child, 0) + 1
+        assert max(parent_counts.values()) == 2
+
+    def test_layered_dag_respects_layers(self):
+        edges = layered_dag_edges(4, 5, fanout=2, seed=0)
+        for source, target in edges:
+            assert (target - 1) // 5 == (source - 1) // 5 + 1
+
+    def test_random_graph_probability_extremes(self):
+        assert random_graph_edges(5, 0.0, seed=0) == []
+        full = random_graph_edges(5, 1.0, seed=0)
+        assert len(full) == 20  # all ordered pairs, no self loops
+
+    def test_grid(self):
+        edges = grid_edges(2, 3)
+        assert (1, 2) in edges   # right
+        assert (1, 4) in edges   # down
+        assert (3, 6) in edges
+        assert len(edges) == 7
