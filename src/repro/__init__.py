@@ -32,6 +32,8 @@ Subpackages:
   multiprocessing executor.
 * :mod:`repro.network` — Section 5: dataflow graphs and compile-time
   minimal network derivation.
+* :mod:`repro.obs` — structured tracing: typed events, pluggable
+  sinks, the ``repro trace`` report layer.
 * :mod:`repro.workloads` — canonical programs and seeded generators.
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 """

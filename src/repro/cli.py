@@ -5,6 +5,8 @@ Usage (also available as ``python -m repro``)::
     repro run program.dl [--facts facts.dl] [--method seminaive]
     repro parallel program.dl --scheme example3 -n 4 [--facts facts.dl]
                    [--keep 0.5] [--mp] [--detect-termination] [--stats]
+                   [--trace run.jsonl] [--delay-prob 0.2] [--seed 7]
+    repro trace run.jsonl [--json] [--send-cost 1.0] [--recv-cost 1.0]
     repro network program.dl [--positions 1,2] [--linear 1,-1,1]
                    [--g-range 2]
     repro workloads
@@ -106,6 +108,11 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     from .parallel import run_parallel
     from .parallel.mp import run_multiprocessing
 
+    if not 0.0 <= args.delay_prob < 1.0:
+        raise ReproError(
+            f"--delay-prob must be in [0, 1), got {args.delay_prob}: "
+            "at 1 every tuple is re-delayed forever and the run never "
+            "quiesces")
     program, database = _load(args.program, args.facts)
     parallel_program = _build_scheme(args, program, database)
     print(f"scheme: {parallel_program.scheme} on "
@@ -114,17 +121,40 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     for line in parallel_program.fragmentation.describe().splitlines():
         print(f"  {line}")
 
-    if args.mp:
-        result = run_multiprocessing(parallel_program, database,
-                                     timeout=args.timeout)
-        print(f"\nreal multiprocessing run: {result.wall_seconds:.2f}s wall")
-    else:
-        result = run_parallel(parallel_program, database,
-                              detect_termination=args.detect_termination)
+    tracer = None
+    if args.trace:
+        import time
+
+        from .obs import JsonlSink, Tracer
+
+        # The simulator's trace must be deterministic (equal seeds →
+        # byte-identical files), so only the mp executor gets a clock.
+        tracer = Tracer(JsonlSink(args.trace),
+                        clock=time.perf_counter if args.mp else None)
+    try:
+        if args.mp:
+            result = run_multiprocessing(parallel_program, database,
+                                         timeout=args.timeout, tracer=tracer)
+            print(f"\nreal multiprocessing run: "
+                  f"{result.wall_seconds:.2f}s wall")
+        else:
+            result = run_parallel(parallel_program, database,
+                                  detect_termination=args.detect_termination,
+                                  delay_probability=args.delay_prob,
+                                  seed=args.seed, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(inspect with: repro trace {args.trace})")
     _print_relations(result.output, parallel_program.derived, args.limit)
     if args.stats:
+        summary = dict(result.metrics.summary())
+        if args.mp:
+            summary["wall_seconds"] = round(result.wall_seconds, 3)
         print()
-        for key, value in result.metrics.summary().items():
+        for key, value in summary.items():
             print(f"  {key}: {value}")
     if args.check:
         sequential = evaluate(program, database)
@@ -192,6 +222,22 @@ def _cmd_network(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import load_trace
+    from .parallel import CostModel
+
+    report = load_trace(args.trace_file)
+    cost = CostModel(send_cost=args.send_cost, recv_cost=args.recv_cost,
+                     round_overhead=args.round_overhead)
+    if args.json:
+        print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    else:
+        print(report.render(cost))
+    return 0
+
+
 def _cmd_workloads(_args: argparse.Namespace) -> int:
     from .workloads import make_workload, workload_kinds
 
@@ -233,12 +279,33 @@ def build_parser() -> argparse.ArgumentParser:
                      help="use real OS processes instead of the simulator")
     par.add_argument("--detect-termination", action="store_true",
                      help="run Safra's detector (simulator only)")
+    par.add_argument("--delay-prob", type=float, default=0.0,
+                     help="per-tuple chance of an extra round of message "
+                          "delay (simulator only; asynchrony injection)")
+    par.add_argument("--seed", type=int, default=0,
+                     help="RNG seed for delay injection (simulator only)")
+    par.add_argument("--trace", metavar="PATH",
+                     help="write a JSONL event trace to PATH")
     par.add_argument("--timeout", type=float, default=120.0)
     par.add_argument("--limit", type=int, default=20)
     par.add_argument("--stats", action="store_true")
     par.add_argument("--check", action="store_true",
                      help="verify against sequential evaluation")
     par.set_defaults(func=_cmd_parallel)
+
+    trace = commands.add_parser(
+        "trace", help="replay a JSONL trace into timelines and histograms")
+    trace.add_argument("trace_file", help="JSONL trace written by "
+                                          "`repro parallel --trace`")
+    trace.add_argument("--json", action="store_true",
+                       help="print the machine-readable summary dict")
+    trace.add_argument("--send-cost", type=float, default=1.0,
+                       help="cost-model work units per tuple sent")
+    trace.add_argument("--recv-cost", type=float, default=1.0,
+                       help="cost-model work units per tuple received")
+    trace.add_argument("--round-overhead", type=float, default=0.0,
+                       help="cost-model fixed per-round overhead")
+    trace.set_defaults(func=_cmd_trace)
 
     net = commands.add_parser("network",
                               help="derive the minimal network graph")

@@ -8,6 +8,7 @@ from typing import Optional
 from ..datalog.program import Program
 from ..errors import EvaluationError
 from ..facts.database import Database
+from ..obs.tracer import Tracer, ensure_tracer
 from .counters import EvalCounters
 from .naive import naive_evaluate
 from .seminaive import seminaive_evaluate
@@ -41,7 +42,8 @@ class EvaluationResult:
 
 def evaluate(program: Program, database: Database, method: str = "seminaive",
              reorder: bool = True,
-             counters: Optional[EvalCounters] = None) -> EvaluationResult:
+             counters: Optional[EvalCounters] = None,
+             tracer: Optional[Tracer] = None) -> EvaluationResult:
     """Evaluate a Datalog program bottom-up.
 
     Args:
@@ -50,6 +52,8 @@ def evaluate(program: Program, database: Database, method: str = "seminaive",
         method: ``"seminaive"`` (default) or ``"naive"``.
         reorder: allow greedy body-atom reordering.
         counters: optional externally owned counters.
+        tracer: optional :class:`~repro.obs.Tracer`; the run is framed
+            by ``run_start``/``run_end`` events.
 
     Returns:
         An :class:`EvaluationResult`.
@@ -58,10 +62,18 @@ def evaluate(program: Program, database: Database, method: str = "seminaive",
         EvaluationError: on an unknown method.
     """
     counters = counters if counters is not None else EvalCounters()
+    tracer = ensure_tracer(tracer)
+    if tracer.enabled:
+        tracer.run_start(scheme=method, processors=(), executor="sequential")
     if method == "seminaive":
-        output = seminaive_evaluate(program, database, counters, reorder)
+        output = seminaive_evaluate(program, database, counters, reorder,
+                                    tracer)
     elif method == "naive":
-        output = naive_evaluate(program, database, counters, reorder)
+        output = naive_evaluate(program, database, counters, reorder, tracer)
     else:
         raise EvaluationError(f"unknown evaluation method {method!r}")
+    if tracer.enabled:
+        tracer.run_end(iterations=counters.iterations,
+                       firings=counters.total_firings(),
+                       probes=counters.probes)
     return EvaluationResult(output=output, counters=counters, method=method)

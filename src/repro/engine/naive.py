@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 from ..datalog.program import Program
 from ..facts.database import Database
 from ..facts.relation import Fact
+from ..obs.tracer import Tracer, ensure_tracer
 from .counters import EvalCounters
 from .planner import compile_plan
 
@@ -21,7 +22,8 @@ __all__ = ["naive_evaluate"]
 
 def naive_evaluate(program: Program, database: Database,
                    counters: Optional[EvalCounters] = None,
-                   reorder: bool = True) -> Database:
+                   reorder: bool = True,
+                   tracer: Optional[Tracer] = None) -> Database:
     """Evaluate ``program`` over ``database`` by naive iteration.
 
     Args:
@@ -29,12 +31,16 @@ def naive_evaluate(program: Program, database: Database,
         database: the extensional input; never mutated.
         counters: optional counters accumulating firings/probes/rounds.
         reorder: allow the planner's greedy atom reordering.
+        tracer: optional :class:`~repro.obs.Tracer` receiving
+            ``rule_fired`` and round-boundary events.
 
     Returns:
         A database holding a relation for every derived predicate, plus
         references to the input base relations.
     """
     counters = counters if counters is not None else EvalCounters()
+    tracer = ensure_tracer(tracer)
+    tracing = tracer.enabled
     working = Database()
     derived = set(program.derived_predicates)
 
@@ -55,15 +61,24 @@ def naive_evaluate(program: Program, database: Database,
     while changed:
         changed = False
         counters.iterations += 1
+        if tracing:
+            tracer.round_start(counters.iterations)
         produced: List[Tuple[str, Fact]] = []
         for plan in plans:
             head = plan.rule.head.predicate
             for fact in plan.execute(working, counters):
+                if tracing:
+                    tracer.rule_fired(None, plan.label, fact)
                 produced.append((head, fact))
+        new_this_round = 0
         for head, fact in produced:
             if working.relation(head).add(fact):
                 counters.record_new(head)
                 changed = True
+                new_this_round += 1
+        if tracing:
+            tracer.round_end(counters.iterations,
+                             produced=len(produced), new=new_this_round)
 
     result = Database()
     for predicate in derived:

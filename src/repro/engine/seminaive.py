@@ -25,6 +25,7 @@ from ..datalog.program import Program
 from ..datalog.rule import Rule
 from ..facts.database import Database
 from ..facts.relation import Fact, Relation
+from ..obs.tracer import Tracer, ensure_tracer
 from .counters import EvalCounters
 from .planner import compile_plan
 from .stratify import Stratum, build_strata
@@ -93,9 +94,11 @@ def delta_variants(rule: Rule, target_predicates: Set[str],
 
 
 def _evaluate_stratum(stratum: Stratum, working: Database,
-                      counters: EvalCounters, reorder: bool) -> None:
+                      counters: EvalCounters, reorder: bool,
+                      tracer: Tracer) -> None:
     """Run semi-naive iteration for one stratum, updating ``working``."""
     predicates = stratum.predicates
+    tracing = tracer.enabled
 
     # Relations for the stratum's predicates already exist in `working`
     # (declared by the caller); create delta and prev companions.
@@ -116,6 +119,8 @@ def _evaluate_stratum(stratum: Stratum, working: Database,
     for plan in exit_plans:
         head = plan.rule.head.predicate
         for fact in plan.execute(working, counters):
+            if tracing:
+                tracer.rule_fired(None, plan.label, fact)
             produced.append((head, fact))
 
     for predicate in predicates:
@@ -140,25 +145,36 @@ def _evaluate_stratum(stratum: Stratum, working: Database,
 
     while any(deltas[p] for p in predicates):
         counters.iterations += 1
+        if tracing:
+            tracer.round_start(counters.iterations)
         round_produced: List[Tuple[str, Fact]] = []
         for plan in variant_plans:
             head = plan.rule.head.predicate
             for fact in plan.execute(working, counters):
+                if tracing:
+                    tracer.rule_fired(None, plan.label, fact)
                 round_produced.append((head, fact))
         # Close the round: prev catches up with full, deltas are the
         # genuinely new facts.
         for predicate in predicates:
             prevs[predicate].update(deltas[predicate])
             deltas[predicate].clear()
+        new_this_round = 0
         for head, fact in round_produced:
             if working.relation(head).add(fact):
                 counters.record_new(str(head))
                 deltas[head].add(fact)
+                new_this_round += 1
+        if tracing:
+            tracer.round_end(counters.iterations,
+                             produced=len(round_produced),
+                             new=new_this_round)
 
 
 def seminaive_evaluate(program: Program, database: Database,
                        counters: Optional[EvalCounters] = None,
-                       reorder: bool = True) -> Database:
+                       reorder: bool = True,
+                       tracer: Optional[Tracer] = None) -> Database:
     """Evaluate ``program`` over ``database`` by stratified semi-naive iteration.
 
     Args:
@@ -166,6 +182,8 @@ def seminaive_evaluate(program: Program, database: Database,
         database: the extensional input; never mutated.
         counters: optional counters accumulating firings/probes/rounds.
         reorder: allow the planner's greedy atom reordering.
+        tracer: optional :class:`~repro.obs.Tracer` receiving
+            ``rule_fired`` and round-boundary events.
 
     Returns:
         A database holding a relation for every derived predicate (the
@@ -173,6 +191,9 @@ def seminaive_evaluate(program: Program, database: Database,
         to the input base relations.
     """
     counters = counters if counters is not None else EvalCounters()
+    tracer = ensure_tracer(tracer)
+    if tracer.enabled:
+        tracer.current_round = 0
     working = Database()
     derived = set(program.derived_predicates)
 
@@ -189,7 +210,7 @@ def seminaive_evaluate(program: Program, database: Database,
         working.add_fact(atom.predicate, atom.to_fact())
 
     for stratum in build_strata(program):
-        _evaluate_stratum(stratum, working, counters, reorder)
+        _evaluate_stratum(stratum, working, counters, reorder, tracer)
 
     result = Database()
     for predicate in derived:

@@ -13,6 +13,9 @@ Messages are plain picklable tuples; the first element is a tag:
 * ``("result", processor, outputs, stats)`` — worker → coordinator,
   final output relations and counters.
 * ``("error", processor, text)`` — worker → coordinator, crash report.
+* ``("trace", processor, events)`` — worker → coordinator, a batch of
+  trace events in flat dict form (see :mod:`repro.obs`); sent only when
+  the run is traced, flushed at probe time and before the final result.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ __all__ = [
     "STOP",
     "RESULT",
     "ERROR",
+    "TRACE",
     "WorkerStats",
 ]
 
@@ -35,6 +39,7 @@ ACK = "ack"
 STOP = "stop"
 RESULT = "result"
 ERROR = "error"
+TRACE = "trace"
 
 
 class WorkerStats:

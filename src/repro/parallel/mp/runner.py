@@ -24,10 +24,11 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from ...errors import ExecutionError
 from ...facts.database import Database
 from ...facts.relation import Relation
+from ...obs.tracer import Tracer, ensure_tracer
 from ..metrics import ParallelMetrics
 from ..naming import processor_tag
 from ..plans import ParallelProgram
-from .protocol import ACK, ERROR, PROBE, RESULT, STOP, WorkerStats
+from .protocol import ACK, ERROR, PROBE, RESULT, STOP, TRACE, WorkerStats
 from .worker import worker_main
 
 __all__ = ["MPResult", "run_multiprocessing"]
@@ -67,7 +68,8 @@ def _picklable_local(program: ParallelProgram, processor: ProcessorId,
 def run_multiprocessing(program: ParallelProgram, database: Database,
                         probe_interval: float = 0.02,
                         timeout: float = 120.0,
-                        start_method: Optional[str] = None) -> MPResult:
+                        start_method: Optional[str] = None,
+                        tracer: Optional[Tracer] = None) -> MPResult:
     """Execute a rewritten program on real OS processes.
 
     Args:
@@ -77,20 +79,30 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         timeout: overall wall-clock limit.
         start_method: multiprocessing start method (default: ``fork``
             when available, else the platform default).
+        tracer: optional :class:`~repro.obs.Tracer`.  Workers buffer
+            typed events and stream them back as ``("trace", ...)``
+            batches; the coordinator forwards them into the tracer's
+            sink alongside its own lifecycle/probe events.
 
     Raises:
         ExecutionError: on worker crash or timeout.
     """
     started = time.perf_counter()
+    tracer = ensure_tracer(tracer)
+    tracing = tracer.enabled
     if start_method is None:
         methods = multiprocessing.get_all_start_methods()
         start_method = "fork" if "fork" in methods else methods[0]
     context = multiprocessing.get_context(start_method)
 
     order = sorted(program.processors, key=processor_tag)
+    tags = {proc: processor_tag(proc) for proc in order}
     inboxes = {proc: context.Queue() for proc in order}
     coordinator_queue = context.Queue()
 
+    if tracing:
+        tracer.run_start(scheme=program.scheme + "+mp",
+                         processors=[tags[p] for p in order], executor="mp")
     workers = []
     try:
         for proc in order:
@@ -98,10 +110,12 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                 target=worker_main,
                 args=(program.program_for(proc),
                       _picklable_local(program, proc, database),
-                      inboxes[proc], inboxes, coordinator_queue),
+                      inboxes[proc], inboxes, coordinator_queue, tracing),
                 daemon=True)
             process.start()
             workers.append(process)
+            if tracing:
+                tracer.worker_spawn(tags[proc])
 
         sequence = 0
         probes_sent = 0
@@ -115,6 +129,8 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             for proc in order:
                 inboxes[proc].put((PROBE, sequence))
                 probes_sent += 1
+            if tracing:
+                tracer.probe(seq=sequence, wave=len(order))
             snapshot: Dict[ProcessorId, Tuple[int, int, int]] = {}
             while len(snapshot) < len(order):
                 remaining = deadline - time.perf_counter()
@@ -126,6 +142,10 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                 if tag == ERROR:
                     raise ExecutionError(
                         f"worker {message[1]!r} crashed:\n{message[2]}")
+                if tag == TRACE:
+                    for payload in message[2]:
+                        tracer.ingest(payload)
+                    continue
                 if tag == ACK and message[2] == sequence:
                     _, proc, _seq, sent, received, activity = message
                     snapshot[proc] = (sent, received, activity)
@@ -153,10 +173,19 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             if tag == ERROR:
                 raise ExecutionError(
                     f"worker {message[1]!r} crashed:\n{message[2]}")
+            if tag == TRACE:
+                for payload in message[2]:
+                    tracer.ingest(payload)
+                continue
             if tag == RESULT:
                 _, proc, worker_outputs, worker_stats = message
                 outputs[proc] = worker_outputs
                 stats[proc] = worker_stats
+                if tracing:
+                    tracer.worker_exit(tags[proc],
+                                       firings=worker_stats.firings,
+                                       probes=worker_stats.probes,
+                                       received=worker_stats.received)
         for process in workers:
             process.join(timeout=5.0)
     finally:
@@ -187,5 +216,11 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             metrics.pooled_tuples += len(facts)
         output.attach(pooled)
 
+    wall_seconds = time.perf_counter() - started
+    if tracing:
+        tracer.run_end(firings=metrics.total_firings(),
+                       sent=metrics.total_sent(),
+                       control_messages=probes_sent,
+                       wall_seconds=wall_seconds)
     return MPResult(output=output, metrics=metrics, stats=stats,
-                    wall_seconds=time.perf_counter() - started)
+                    wall_seconds=wall_seconds)

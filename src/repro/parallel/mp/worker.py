@@ -10,14 +10,18 @@ coordinator's quiescence probes with its counters.
 from __future__ import annotations
 
 import queue as queue_module
+import time
 import traceback
 from typing import Dict, Hashable, List, Mapping, Tuple
 
 from ...facts.database import Database
 from ...facts.relation import Relation
+from ...obs.sinks import InMemorySink
+from ...obs.tracer import NULL_TRACER, Tracer
+from ..naming import processor_tag
 from ..plans import ProcessorProgram
 from ..processor import ProcessorRuntime
-from .protocol import ACK, DATA, ERROR, PROBE, RESULT, STOP, WorkerStats
+from .protocol import ACK, DATA, ERROR, PROBE, RESULT, STOP, TRACE, WorkerStats
 
 __all__ = ["worker_main"]
 
@@ -36,7 +40,7 @@ def _rebuild_database(relations: Mapping[str, Tuple[int, List[tuple]]]) -> Datab
 def worker_main(program: ProcessorProgram,
                 local_relations: Mapping[str, Tuple[int, List[tuple]]],
                 inbox, peer_queues: Mapping[ProcessorId, object],
-                coordinator_queue) -> None:
+                coordinator_queue, trace: bool = False) -> None:
     """Entry point of a worker process.
 
     Args:
@@ -45,12 +49,29 @@ def worker_main(program: ProcessorProgram,
         inbox: this worker's receive queue.
         peer_queues: send queues of every processor (self included).
         coordinator_queue: queue for acks/results to the coordinator.
+        trace: when True, buffer typed trace events locally and stream
+            them to the coordinator as ``("trace", ...)`` batches.
     """
     me = program.processor
+    tag = processor_tag(me)
     stats = WorkerStats()
     activity = 0
+    if trace:
+        trace_sink = InMemorySink()
+        tracer: Tracer = Tracer(trace_sink, clock=time.monotonic)
+    else:
+        trace_sink = None  # type: ignore[assignment]
+        tracer = NULL_TRACER
+
+    def flush_trace() -> None:
+        if trace and trace_sink.events:
+            coordinator_queue.put(
+                (TRACE, me,
+                 [event.to_dict() for event in trace_sink.drain()]))
+
     try:
-        runtime = ProcessorRuntime(program, _rebuild_database(local_relations))
+        runtime = ProcessorRuntime(program, _rebuild_database(local_relations),
+                                   tracer=tracer)
 
         def route(emissions: List[Tuple[str, tuple]]) -> None:
             nonlocal activity
@@ -74,11 +95,15 @@ def worker_main(program: ProcessorProgram,
                 by_pred: Dict[str, List[tuple]] = {}
                 for predicate, fact in batch:
                     by_pred.setdefault(predicate, []).append(fact)
+                target_tag = processor_tag(target)
                 for predicate, facts in by_pred.items():
                     peer_queues[target].put((DATA, me, predicate, facts))
                     stats.sent_by_target[target] = (
                         stats.sent_by_target.get(target, 0) + len(facts))
                     activity += len(facts)
+                    if trace:
+                        for _ in facts:
+                            tracer.tuple_sent(tag, target_tag, predicate)
 
         route(runtime.initialize())
         running = True
@@ -91,14 +116,18 @@ def worker_main(program: ProcessorProgram,
                                         else _POLL_SECONDS)
                 except queue_module.Empty:
                     break
-                tag = message[0]
-                if tag == DATA:
-                    _, _sender, predicate, facts = message
+                kind = message[0]
+                if kind == DATA:
+                    _, sender, predicate, facts = message
                     runtime.receive(predicate, facts, remote=True)
                     stats.received += len(facts)
                     activity += len(facts)
                     drained_any = True
-                elif tag == PROBE:
+                    if trace:
+                        sender_tag = processor_tag(sender)
+                        for _ in facts:
+                            tracer.tuple_received(tag, sender_tag, predicate)
+                elif kind == PROBE:
                     _, seq = message
                     stats.firings = runtime.counters.total_firings()
                     stats.probes = runtime.counters.probes
@@ -107,16 +136,23 @@ def worker_main(program: ProcessorProgram,
                     coordinator_queue.put(
                         (ACK, me, seq, stats.total_sent(),
                          stats.received, activity))
-                elif tag == STOP:
+                    if trace:
+                        tracer.probe(tag, seq=seq, activity=activity)
+                        flush_trace()
+                elif kind == STOP:
                     running = False
                     break
                 else:  # pragma: no cover - defensive
-                    raise ValueError(f"unknown message tag {tag!r}")
+                    raise ValueError(f"unknown message tag {kind!r}")
             if not running:
                 break
             # Step as long as staged input remains (self-deliveries from
-            # route() can immediately enable further steps).
+            # route() can immediately enable further steps).  Events of a
+            # step are labelled with the worker-local iteration number —
+            # real execution has no global rounds.
             while runtime.has_pending_input():
+                if trace:
+                    tracer.current_round = runtime.counters.iterations + 1
                 emissions = runtime.step()
                 if emissions:
                     activity += len(emissions)
@@ -126,6 +162,7 @@ def worker_main(program: ProcessorProgram,
         stats.probes = runtime.counters.probes
         stats.iterations = runtime.counters.iterations
         stats.duplicates_dropped = runtime.duplicates_dropped
+        flush_trace()
         outputs = {
             pred: sorted(runtime.output_relation(pred), key=repr)
             for pred in program.out_names

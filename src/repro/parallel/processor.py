@@ -23,6 +23,8 @@ from ..engine.planner import compile_plan
 from ..engine.seminaive import DELTA_SUFFIX, PREV_SUFFIX, delta_variants
 from ..facts.database import Database
 from ..facts.relation import Fact, Relation
+from ..obs.tracer import Tracer, ensure_tracer
+from .naming import processor_tag
 from .plans import ProcessorProgram
 
 __all__ = ["ProcessorRuntime"]
@@ -40,12 +42,17 @@ class ProcessorRuntime:
             runtime takes ownership of the database).
         counters: optional externally owned counters.
         reorder: allow the planner's greedy body reordering.
+        tracer: optional :class:`~repro.obs.Tracer`; every firing,
+            duplicate drop and staged receive becomes a typed event.
     """
 
     def __init__(self, program: ProcessorProgram, local_base: Database,
                  counters: Optional[EvalCounters] = None,
-                 reorder: bool = True) -> None:
+                 reorder: bool = True,
+                 tracer: Optional[Tracer] = None) -> None:
         self.program = program
+        self.tracer = ensure_tracer(tracer)
+        self.tag = processor_tag(program.processor)
         self.counters = counters if counters is not None else EvalCounters()
         self.working = local_base
         self.duplicates_dropped = 0
@@ -86,11 +93,15 @@ class ProcessorRuntime:
     # ------------------------------------------------------------------
     def initialize(self) -> List[Emission]:
         """Fire the initialization rules once; return new output tuples."""
+        tracer = self.tracer
+        tracing = tracer.enabled
         emissions: List[Emission] = []
         for plan in self._init_plans:
             pred = self._out_to_pred[plan.rule.head.predicate]
             out = self._out[pred]
             for fact in plan.execute(self.working, self.counters):
+                if tracing:
+                    tracer.rule_fired(self.tag, plan.label, fact)
                 if out.add(fact):
                     self.counters.record_new(plan.label)
                     emissions.append((pred, fact))
@@ -129,6 +140,8 @@ class ProcessorRuntime:
 
         # Ingest: new tuples feed the deltas, duplicates are discarded
         # by the difference operation of the paper's receiving step.
+        tracer = self.tracer
+        tracing = tracer.enabled
         fired = False
         for pred, staged in self._staged.items():
             if not staged:
@@ -140,6 +153,8 @@ class ProcessorRuntime:
                     delta.add(fact)
                 else:
                     self.duplicates_dropped += 1
+                    if tracing:
+                        tracer.tuple_dropped(self.tag, pred)
             staged.clear()
             if delta:
                 fired = True
@@ -152,6 +167,8 @@ class ProcessorRuntime:
             pred = self._out_to_pred[plan.rule.head.predicate]
             out = self._out[pred]
             for fact in plan.execute(self.working, self.counters):
+                if tracing:
+                    tracer.rule_fired(self.tag, plan.label, fact)
                 if out.add(fact):
                     self.counters.record_new(plan.label)
                     emissions.append((pred, fact))

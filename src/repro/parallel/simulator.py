@@ -27,6 +27,7 @@ from ..errors import ExecutionError
 from ..facts.database import Database
 from ..facts.relation import Fact, Relation
 from ..network.netgraph import NetworkGraph
+from ..obs.tracer import Tracer, ensure_tracer
 from .metrics import ParallelMetrics
 from .naming import processor_tag
 from .plans import ParallelProgram
@@ -131,26 +132,34 @@ class SimulatedCluster:
             its own derived minimal network must therefore succeed
             (Section 5's "adapt the parallel execution onto an existing
             parallel architecture").
+        tracer: optional :class:`~repro.obs.Tracer`.  The simulator is
+            round-based and fully deterministic, so the tracer should
+            carry no clock: equal seeds then yield byte-identical
+            event streams.
     """
 
     def __init__(self, program: ParallelProgram, database: Database,
                  delay_probability: float = 0.0, seed: int = 0,
                  detect_termination: bool = False, reorder: bool = True,
                  max_rounds: int = 1_000_000,
-                 network: Optional[NetworkGraph] = None) -> None:
+                 network: Optional[NetworkGraph] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.program = program
         self.database = database
         self.delay_probability = delay_probability
         self.detect_termination = detect_termination
         self.max_rounds = max_rounds
         self.network = network
+        self.tracer = ensure_tracer(tracer)
         self._rng = random.Random(seed)
         self._order = sorted(program.processors, key=processor_tag)
+        self._tags = {proc: processor_tag(proc) for proc in self._order}
         self.runtimes: Dict[ProcessorId, ProcessorRuntime] = {}
         for proc in self._order:
             local = program.local_database(proc, database)
             self.runtimes[proc] = ProcessorRuntime(
-                program.program_for(proc), local, reorder=reorder)
+                program.program_for(proc), local, reorder=reorder,
+                tracer=self.tracer)
         self.metrics = ParallelMetrics(
             scheme=program.scheme, processors=tuple(self._order))
         self._detector = (_SafraDetector(self._order)
@@ -187,6 +196,9 @@ class SimulatedCluster:
                             "routing)")
                     self.metrics.sent[(sender, target)] += 1
                     sent_by_dest[target] = sent_by_dest.get(target, 0) + 1
+                    if self.tracer.enabled:
+                        self.tracer.tuple_sent(self._tags[sender],
+                                               self._tags[target], predicate)
                 messages.append((target, sender, predicate, fact))
         if self._detector is not None:
             self._detector.on_send(sender, sum(sent_by_dest.values()))
@@ -212,6 +224,9 @@ class SimulatedCluster:
             if remote:
                 remote_received[destination] = (
                     remote_received.get(destination, 0) + 1)
+                if self.tracer.enabled:
+                    self.tracer.tuple_received(self._tags[destination],
+                                               self._tags[sender], predicate)
         if self._detector is not None:
             for proc, count in remote_received.items():
                 self._detector.on_receive(proc, count)
@@ -223,6 +238,15 @@ class SimulatedCluster:
         Raises:
             ExecutionError: if ``max_rounds`` is exceeded.
         """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.run_start(scheme=self.program.scheme,
+                             processors=[self._tags[p] for p in self._order],
+                             executor="simulator")
+            tracer.current_round = 0
+            for proc in self._order:
+                tracer.worker_spawn(self._tags[proc])
         in_flight: List[Message] = []
         for proc in self._order:
             emissions = self.runtimes[proc].initialize()
@@ -242,6 +266,8 @@ class SimulatedCluster:
                     f"no quiescence after {self.max_rounds} rounds")
 
             self.metrics.rounds += 1
+            if tracing:
+                tracer.round_start(self.metrics.rounds)
             in_flight, delivered = self._deliver(in_flight)
 
             round_work: Dict[ProcessorId, float] = {}
@@ -262,9 +288,21 @@ class SimulatedCluster:
             self.metrics.per_round_work.append(round_work)
             self.metrics.per_round_sent.append(round_sent)
             self.metrics.per_round_received.append(round_received)
+            if tracing:
+                tracer.round_end(
+                    self.metrics.rounds,
+                    work={self._tags[p]: round_work[p] for p in self._order},
+                    sent={self._tags[p]: round_sent[p] for p in self._order},
+                    received={self._tags[p]: round_received[p]
+                              for p in self._order})
 
             if self._detector is not None:
+                hops_before = self._detector.hops
                 self._detector.advance(idle)
+                if tracing and self._detector.hops > hops_before:
+                    tracer.probe(algorithm="safra-token",
+                                 hops=self._detector.hops,
+                                 detected=self._detector.detected)
 
         counters = {p: self.runtimes[p].counters for p in self._order}
         for proc in self._order:
@@ -273,6 +311,11 @@ class SimulatedCluster:
             self.metrics.received[proc] = self.runtimes[proc].received_remote
             self.metrics.duplicates_dropped[proc] = (
                 self.runtimes[proc].duplicates_dropped)
+            if tracing:
+                tracer.worker_exit(self._tags[proc],
+                                   firings=self.metrics.firings[proc],
+                                   probes=self.metrics.probes[proc],
+                                   received=self.metrics.received[proc])
         if self._detector is not None:
             self.metrics.control_messages = self._detector.hops
             if quiescent_round is not None:
@@ -288,6 +331,11 @@ class SimulatedCluster:
                 self.metrics.pooled_tuples += len(
                     self.runtimes[proc].output_relation(predicate))
             output.attach(pooled)
+        if tracing:
+            tracer.run_end(rounds=self.metrics.rounds,
+                           firings=self.metrics.total_firings(),
+                           sent=self.metrics.total_sent(),
+                           pooled=self.metrics.pooled_tuples)
         return ParallelResult(output=output, metrics=self.metrics,
                               counters=counters)
 

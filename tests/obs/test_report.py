@@ -1,0 +1,104 @@
+"""Replay tests: a traced run must reconstruct the live metrics exactly."""
+
+import json
+
+import pytest
+
+from repro.obs import InMemorySink, TraceReport, Tracer
+from repro.parallel import CostModel, example3_scheme, run_parallel
+from repro.parallel.naming import processor_tag
+
+
+@pytest.fixture
+def traced_run(ancestor, tree_db):
+    """A 4-processor example3 ancestor run traced to memory."""
+    parallel = example3_scheme(ancestor, (0, 1, 2, 3))
+    sink = InMemorySink()
+    result = run_parallel(parallel, tree_db, tracer=Tracer(sink))
+    return parallel, result, TraceReport(sink.events)
+
+
+class TestReplayMatchesLiveMetrics:
+    def test_firings_match_exactly(self, traced_run):
+        parallel, result, report = traced_run
+        live = {processor_tag(proc): count
+                for proc, count in result.metrics.firings.items() if count}
+        replayed = {proc: count
+                    for proc, count in report.firings.items() if count}
+        assert replayed == live
+
+    def test_totals_match(self, traced_run):
+        _parallel, result, report = traced_run
+        assert report.total_firings() == result.metrics.total_firings()
+        assert report.total_sent() == result.metrics.total_sent()
+        assert report.rounds == result.metrics.rounds
+
+    def test_channel_traffic_matches(self, traced_run):
+        _parallel, result, report = traced_run
+        live = {(processor_tag(src), processor_tag(dst)): count
+                for (src, dst), count in result.metrics.sent.items() if count}
+        replayed = {channel: count
+                    for channel, count in report.sent.items() if count}
+        assert replayed == live
+
+    @pytest.mark.parametrize("cost", [
+        CostModel(),
+        CostModel(send_cost=2.0, recv_cost=0.5),
+        CostModel(round_overhead=3.0),
+    ])
+    def test_makespan_matches(self, traced_run, cost):
+        _parallel, result, report = traced_run
+        assert report.makespan(cost) == pytest.approx(
+            result.metrics.makespan(cost))
+
+    def test_processors_in_order(self, traced_run):
+        parallel, _result, report = traced_run
+        assert report.processors == [processor_tag(proc)
+                                     for proc in parallel.processors]
+
+
+class TestSummaryAndRendering:
+    def test_summary_is_json_serializable(self, traced_run):
+        _parallel, result, report = traced_run
+        summary = report.summary()
+        encoded = json.loads(json.dumps(summary))
+        assert encoded["firings"] == result.metrics.total_firings()
+        assert encoded["sent"] == result.metrics.total_sent()
+        assert encoded["executor"] == "simulator"
+        for key in ("scheme", "processors", "rounds", "firings", "sent",
+                    "channels_used", "makespan"):
+            assert key in encoded
+
+    def test_render_contains_all_sections(self, traced_run):
+        _parallel, _result, report = traced_run
+        text = report.render()
+        assert "per-processor timeline" in text
+        assert "firings per round" in text
+        assert "channel heatmap" in text
+        assert "makespan breakdown" in text
+        assert "hottest rules" in text
+
+    def test_makespan_breakdown_is_cumulative(self, traced_run):
+        _parallel, _result, report = traced_run
+        rows = report.makespan_breakdown()
+        assert rows
+        assert rows[-1][3] == pytest.approx(report.makespan())
+        cumulative = 0.0
+        for _round, _critical, peak, running in rows:
+            cumulative += peak
+            assert running == pytest.approx(cumulative)
+
+    def test_empty_trace_renders(self):
+        report = TraceReport([])
+        assert report.total_firings() == 0
+        assert "(no processor activity)" in report.render()
+
+    def test_sequential_trace_uses_seq_proc(self, ancestor, chain_db):
+        from repro.engine import evaluate
+
+        sink = InMemorySink()
+        evaluate(ancestor, chain_db, tracer=Tracer(sink))
+        report = TraceReport(sink.events)
+        assert report.executor == "sequential"
+        assert set(report.firings) == {"seq"}
+        assert report.total_firings() > 0

@@ -1,0 +1,96 @@
+"""Unit tests for the trace sinks."""
+
+import json
+
+from repro.obs import (
+    AggregateSink,
+    InMemorySink,
+    JsonlSink,
+    RULE_FIRED,
+    TUPLE_SENT,
+    TraceEvent,
+    Tracer,
+    event_to_json,
+    read_jsonl,
+)
+
+
+def _sample_events():
+    return [
+        TraceEvent(kind=RULE_FIRED, proc="0", round=1, data={"rule": "r"}),
+        TraceEvent(kind=RULE_FIRED, proc="1", round=1, data={"rule": "r"}),
+        TraceEvent(kind=TUPLE_SENT, proc="0", round=2,
+                   data={"dst": "1", "pred": "anc"}),
+    ]
+
+
+class TestInMemorySink:
+    def test_collects_in_order(self):
+        sink = InMemorySink()
+        for event in _sample_events():
+            sink.emit(event)
+        assert len(sink) == 3
+        assert sink.count(RULE_FIRED) == 2
+        assert sink.events[2].kind == TUPLE_SENT
+
+    def test_drain_empties_the_buffer(self):
+        sink = InMemorySink()
+        sink.emit(_sample_events()[0])
+        drained = sink.drain()
+        assert len(drained) == 1
+        assert len(sink) == 0
+
+
+class TestJsonlSink:
+    def test_round_trips_through_a_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        sink = JsonlSink(str(path))
+        events = _sample_events()
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert sink.lines_written == 3
+        assert list(read_jsonl(str(path))) == events
+
+    def test_canonical_encoding_sorts_keys(self):
+        event = TraceEvent(kind=TUPLE_SENT, proc="0",
+                           data={"pred": "anc", "dst": "1"})
+        line = event_to_json(event)
+        assert line == '{"dst":"1","kind":"tuple_sent","pred":"anc","proc":"0"}'
+        # Compact separators — no spaces anywhere.
+        assert " " not in line
+
+    def test_tuples_serialize_as_lists(self):
+        event = TraceEvent(kind=RULE_FIRED, proc="0", data={"fact": (1, 2)})
+        assert json.loads(event_to_json(event))["fact"] == [1, 2]
+
+    def test_accepts_open_handle(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            sink = JsonlSink(handle)
+            sink.emit(_sample_events()[0])
+            sink.close()  # must not close a handle it does not own
+            assert not handle.closed
+        assert len(list(read_jsonl(str(path)))) == 1
+
+
+class TestAggregateSink:
+    def test_counts_by_kind_proc_and_round(self):
+        sink = AggregateSink()
+        for event in _sample_events():
+            sink.emit(event)
+        assert sink.by_kind[RULE_FIRED] == 2
+        assert sink.by_proc[(RULE_FIRED, "0")] == 1
+        assert sink.by_round[(RULE_FIRED, 1)] == 2
+        stats = sink.as_dict()
+        assert stats["by_kind"][RULE_FIRED] == 2
+        assert stats["by_proc"]["rule_fired@0"] == 1
+        assert stats["by_round"]["rule_fired@1"] == 2
+        assert "span_seconds" not in stats  # no timestamps recorded
+
+    def test_works_as_a_tracer_sink(self):
+        sink = AggregateSink()
+        tracer = Tracer(sink)
+        tracer.rule_fired("0", "r")
+        tracer.rule_fired("0", "r")
+        assert sink.by_kind[RULE_FIRED] == 2

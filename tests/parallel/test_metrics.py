@@ -58,6 +58,38 @@ class TestCostModel:
         assert metrics.speedup_vs(10) == float("inf")
         assert metrics.speedup_vs(0) == 1.0
 
+    def test_asymmetric_send_recv_costs(self):
+        metrics = _metrics()
+        # Round 1: max(8 + 2*3, 2 + 0.5*3) = 14;
+        # round 2: max(6 + 2*2, 6 + 0.5*2) = 10.
+        cost = CostModel(send_cost=2.0, recv_cost=0.5)
+        assert metrics.makespan(cost) == pytest.approx(24.0)
+
+    def test_free_communication_reduces_to_work_peaks(self):
+        metrics = _metrics()
+        # Round peaks on raw work alone: max(8, 2) + max(6, 6) = 14.
+        cost = CostModel(send_cost=0.0, recv_cost=0.0)
+        assert metrics.makespan(cost) == pytest.approx(14.0)
+
+    def test_critical_processor_may_differ_per_round(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        metrics.per_round_work = [{0: 10.0, 1: 1.0}, {0: 1.0, 1: 10.0}]
+        metrics.per_round_sent = [{}, {}]
+        metrics.per_round_received = [{}, {}]
+        # Each round is paced by a different processor: 10 + 10, not
+        # the per-processor sums 11 and 11.
+        assert metrics.makespan(CostModel()) == pytest.approx(20.0)
+
+    def test_no_rounds_means_zero_makespan(self):
+        metrics = ParallelMetrics(scheme="x", processors=(0, 1))
+        assert metrics.makespan(CostModel(round_overhead=99.0)) == 0.0
+
+    def test_makespan_monotone_in_costs(self):
+        metrics = _metrics()
+        cheap = metrics.makespan(CostModel(send_cost=0.5, recv_cost=0.5))
+        dear = metrics.makespan(CostModel(send_cost=2.0, recv_cost=2.0))
+        assert cheap < metrics.makespan(CostModel()) < dear
+
 
 class TestFairness:
     def test_perfect_balance(self):

@@ -89,6 +89,13 @@ class TestParallelCommand:
         assert main(["parallel", program_file, "-n", "2",
                      "--detect-termination"]) == 0
 
+    def test_delay_injection_still_correct(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "3", "--check",
+                     "--delay-prob", "0.4", "--seed", "11"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "matches sequential evaluation: True" in output
+
     @pytest.mark.mp
     def test_mp_execution(self, program_file, capsys):
         code = main(["parallel", program_file, "-n", "2", "--mp", "--check"])
@@ -96,6 +103,53 @@ class TestParallelCommand:
         assert code == 0
         assert "real multiprocessing run" in output
         assert "matches sequential evaluation: True" in output
+
+    @pytest.mark.mp
+    def test_mp_stats_include_wall_seconds(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "2", "--mp", "--stats"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "wall_seconds:" in output
+
+
+class TestTraceCommand:
+    @pytest.fixture
+    def trace_file(self, program_file, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["parallel", program_file, "-n", "2",
+                     "--trace", str(path)]) == 0
+        capsys.readouterr()  # swallow the parallel command's output
+        return str(path)
+
+    def test_parallel_announces_trace(self, program_file, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["parallel", program_file, "-n", "2",
+                     "--trace", str(path)]) == 0
+        assert f"trace written to {path}" in capsys.readouterr().out
+
+    def test_trace_renders_report(self, trace_file, capsys):
+        assert main(["trace", trace_file]) == 0
+        output = capsys.readouterr().out
+        assert "trace report" in output
+        assert "per-processor timeline" in output
+        assert "makespan" in output
+
+    def test_trace_json_summary(self, trace_file, capsys):
+        import json
+
+        assert main(["trace", trace_file, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["executor"] == "simulator"
+        assert summary["firings"] > 0
+
+    def test_trace_cost_knobs(self, trace_file, capsys):
+        assert main(["trace", trace_file, "--send-cost", "2.0",
+                     "--round-overhead", "1.0"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/run.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestNetworkCommand:

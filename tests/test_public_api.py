@@ -35,6 +35,7 @@ class TestPublicApi:
         import repro.engine
         import repro.facts
         import repro.network
+        import repro.obs
         import repro.parallel
         import repro.parallel.mp
         import repro.workloads
