@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``)::
     repro parallel program.dl --scheme example3 -n 4 [--facts facts.dl]
                    [--keep 0.5] [--mp] [--detect-termination] [--stats]
                    [--trace run.jsonl] [--delay-prob 0.2] [--seed 7]
+                   [--inject-fault kill:p1@50] [--recovery restart]
     repro trace run.jsonl [--json] [--send-cost 1.0] [--recv-cost 1.0]
     repro network program.dl [--positions 1,2] [--linear 1,-1,1]
                    [--g-range 2]
@@ -121,6 +122,15 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     for line in parallel_program.fragmentation.describe().splitlines():
         print(f"  {line}")
 
+    faults = None
+    if args.inject_fault:
+        from .parallel.faults import build_fault_plan
+
+        faults = build_fault_plan(args.inject_fault, seed=args.seed)
+        specs = ", ".join(args.inject_fault)
+        print(f"fault injection: {specs} (recovery={args.recovery}, "
+              f"seed={args.seed})")
+
     tracer = None
     if args.trace:
         import time
@@ -134,14 +144,23 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     try:
         if args.mp:
             result = run_multiprocessing(parallel_program, database,
-                                         timeout=args.timeout, tracer=tracer)
+                                         timeout=args.timeout, tracer=tracer,
+                                         recovery=args.recovery,
+                                         faults=faults)
             print(f"\nreal multiprocessing run: "
                   f"{result.wall_seconds:.2f}s wall")
+            if result.restarts:
+                print(f"workers restarted after injected faults: "
+                      f"{result.restarts}")
         else:
             result = run_parallel(parallel_program, database,
                                   detect_termination=args.detect_termination,
                                   delay_probability=args.delay_prob,
-                                  seed=args.seed, tracer=tracer)
+                                  seed=args.seed, tracer=tracer,
+                                  recovery=args.recovery, faults=faults)
+            if result.metrics.restarts:
+                print(f"processors restarted after injected faults: "
+                      f"{result.metrics.restarts}")
     finally:
         if tracer is not None:
             tracer.close()
@@ -284,6 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "delay (simulator only; asynchrony injection)")
     par.add_argument("--seed", type=int, default=0,
                      help="RNG seed for delay injection (simulator only)")
+    par.add_argument("--inject-fault", metavar="SPEC", action="append",
+                     default=[],
+                     help="inject a fault: kill:<tag>@<firings> (e.g. "
+                          "kill:p1@50), drop:<prob>, delay:<prob> or "
+                          "dup:<prob>, optionally @<src>-><dst>; repeatable")
+    par.add_argument("--recovery", choices=("fail", "restart"),
+                     default="fail",
+                     help="what to do when a worker dies: fail fast with a "
+                          "precise error, or restart it from its base "
+                          "fragment and replay peer sent-logs")
     par.add_argument("--trace", metavar="PATH",
                      help="write a JSONL event trace to PATH")
     par.add_argument("--timeout", type=float, default=120.0)

@@ -20,6 +20,7 @@ existing queue protocol.
 from .events import (
     EVENT_KINDS,
     PROBE,
+    REPLAY,
     ROUND_END,
     ROUND_START,
     RULE_FIRED,
@@ -30,7 +31,9 @@ from .events import (
     TUPLE_RECEIVED,
     TUPLE_SENT,
     TraceEvent,
+    WORKER_DOWN,
     WORKER_EXIT,
+    WORKER_RESTART,
     WORKER_SPAWN,
 )
 from .report import TraceReport, load_trace
@@ -52,6 +55,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PROBE",
+    "REPLAY",
     "ROUND_END",
     "ROUND_START",
     "RULE_FIRED",
@@ -65,7 +69,9 @@ __all__ = [
     "TraceReport",
     "TraceSink",
     "Tracer",
+    "WORKER_DOWN",
     "WORKER_EXIT",
+    "WORKER_RESTART",
     "WORKER_SPAWN",
     "ensure_tracer",
     "event_to_json",

@@ -2,7 +2,8 @@
 
 Every observable moment of an evaluation — a round boundary, a rule
 firing on a tuple, a tuple crossing a channel, a termination probe, a
-worker's lifetime — is one :class:`TraceEvent`.  Events are deliberately
+worker's lifetime including failure, restart and replay — is one
+:class:`TraceEvent`.  Events are deliberately
 flat and JSON-friendly: ``kind`` plus a processor tag, an optional round
 number, an optional wall-clock timestamp and a small payload dict.  The
 simulator never supplies timestamps, so its event streams are exactly
@@ -18,6 +19,7 @@ from typing import Dict, Mapping, Optional
 __all__ = [
     "EVENT_KINDS",
     "PROBE",
+    "REPLAY",
     "ROUND_END",
     "ROUND_START",
     "RULE_FIRED",
@@ -28,7 +30,9 @@ __all__ = [
     "TUPLE_RECEIVED",
     "TUPLE_SENT",
     "TraceEvent",
+    "WORKER_DOWN",
     "WORKER_EXIT",
+    "WORKER_RESTART",
     "WORKER_SPAWN",
 ]
 
@@ -43,12 +47,16 @@ TUPLE_DROPPED = "tuple_dropped"
 PROBE = "probe"
 WORKER_SPAWN = "worker_spawn"
 WORKER_EXIT = "worker_exit"
+WORKER_DOWN = "worker_down"
+WORKER_RESTART = "worker_restart"
+REPLAY = "replay"
 SPAN = "span"
 
 EVENT_KINDS = frozenset({
     RUN_START, RUN_END, ROUND_START, ROUND_END, RULE_FIRED,
     TUPLE_SENT, TUPLE_RECEIVED, TUPLE_DROPPED, PROBE,
-    WORKER_SPAWN, WORKER_EXIT, SPAN,
+    WORKER_SPAWN, WORKER_EXIT, WORKER_DOWN, WORKER_RESTART, REPLAY,
+    SPAN,
 })
 
 # Keys of the flat dict form that are *not* payload entries.

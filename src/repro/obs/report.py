@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # import lazily at runtime: obs must not depend on parallel
 
 from .events import (
     PROBE,
+    REPLAY,
     ROUND_END,
     RULE_FIRED,
     RUN_START,
@@ -27,6 +28,8 @@ from .events import (
     TUPLE_RECEIVED,
     TUPLE_SENT,
     TraceEvent,
+    WORKER_DOWN,
+    WORKER_RESTART,
     WORKER_SPAWN,
 )
 from .sinks import read_jsonl
@@ -72,6 +75,10 @@ class TraceReport:
         round_loads: per-round ``(work, sent, received)`` load maps from
             ``round_end`` events (the makespan inputs).
         probes: number of termination-detection control events.
+        worker_downs: per-processor count of detected deaths.
+        restarts: per-processor count of recovery restarts.
+        replayed: per-processor count of tuples re-sent during replay
+            (attributed to the replaying sender).
     """
 
     def __init__(self, events: Sequence[TraceEvent]) -> None:
@@ -92,6 +99,9 @@ class TraceReport:
                                           Mapping[str, float],
                                           Mapping[str, float]]] = {}
         self.probes = 0
+        self.worker_downs: Counter = Counter()
+        self.restarts: Counter = Counter()
+        self.replayed: Counter = Counter()
         seen_procs: List[str] = []
         for event in self.events:
             proc = event.proc if event.proc is not None else "seq"
@@ -125,6 +135,12 @@ class TraceReport:
                     event.data.get("received", {}))  # type: ignore[arg-type]
             elif event.kind == PROBE:
                 self.probes += 1
+            elif event.kind == WORKER_DOWN:
+                self.worker_downs[proc] += 1
+            elif event.kind == WORKER_RESTART:
+                self.restarts[proc] += 1
+            elif event.kind == REPLAY:
+                self.replayed[proc] += int(event.data.get("count", 0))  # type: ignore[call-overload]
         # Stable processor order: first appearance wins.
         for proc in seen_procs:
             if proc not in self.processors:
@@ -208,6 +224,9 @@ class TraceReport:
             "channels_used": sum(1 for count in self.sent.values()
                                  if count > 0),
             "control_messages": self.probes,
+            "worker_down": sum(self.worker_downs.values()),
+            "restarts": sum(self.restarts.values()),
+            "replayed": sum(self.replayed.values()),
             "makespan": self.makespan(),
         }
 
@@ -273,6 +292,34 @@ class TraceReport:
         lines.append(f"(peak channel: {peak} tuples)")
         return "\n".join(lines)
 
+    def fault_log(self) -> str:
+        """Chronological narrative of failure/recovery events.
+
+        Lists every ``worker_down`` / ``worker_restart`` / ``replay``
+        event in stream order, so a traced run under fault injection can
+        be audited step by step.
+        """
+        lines: List[str] = []
+        for event in self.events:
+            proc = event.proc if event.proc is not None else "?"
+            if event.kind == WORKER_DOWN:
+                detail = ", ".join(f"{k}={v}" for k, v in
+                                   sorted(event.data.items()))
+                lines.append(f"  DOWN     {proc}"
+                             + (f"  ({detail})" if detail else ""))
+            elif event.kind == WORKER_RESTART:
+                detail = ", ".join(f"{k}={v}" for k, v in
+                                   sorted(event.data.items()))
+                lines.append(f"  RESTART  {proc}"
+                             + (f"  ({detail})" if detail else ""))
+            elif event.kind == REPLAY:
+                dst = event.data.get("dst", "?")
+                count = event.data.get("count", "?")
+                lines.append(f"  REPLAY   {proc} -> {dst}  ({count} tuples)")
+        if not lines:
+            return "(no failures)"
+        return "\n".join(lines)
+
     def render(self, cost: Optional[CostModel] = None) -> str:
         """The full human-readable report."""
         parts = [
@@ -292,6 +339,8 @@ class TraceReport:
             "channel heatmap (tuples sent, sender rows -> receiver columns):",
             self.channel_heatmap(),
         ]
+        if self.worker_downs or self.restarts or self.replayed:
+            parts.extend(["", "failures and recovery:", self.fault_log()])
         breakdown = self.makespan_breakdown(cost)
         if breakdown:
             parts.extend(["", "makespan breakdown (cost model):"])

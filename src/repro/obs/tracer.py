@@ -24,6 +24,7 @@ from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from .events import (
     PROBE,
+    REPLAY,
     ROUND_END,
     ROUND_START,
     RULE_FIRED,
@@ -34,7 +35,9 @@ from .events import (
     TUPLE_RECEIVED,
     TUPLE_SENT,
     TraceEvent,
+    WORKER_DOWN,
     WORKER_EXIT,
+    WORKER_RESTART,
     WORKER_SPAWN,
 )
 from .sinks import TraceSink
@@ -133,6 +136,18 @@ class Tracer:
     def worker_exit(self, proc: str, **data: object) -> None:
         """A processor's executor finished; payload carries its counters."""
         self.emit(WORKER_EXIT, proc=proc, **data)
+
+    def worker_down(self, proc: str, **data: object) -> None:
+        """A processor's executor was found dead (crash or injected kill)."""
+        self.emit(WORKER_DOWN, proc=proc, **data)
+
+    def worker_restart(self, proc: str, **data: object) -> None:
+        """A dead processor was restarted from its base fragment."""
+        self.emit(WORKER_RESTART, proc=proc, **data)
+
+    def replay(self, proc: str, dst: str, count: int) -> None:
+        """``proc`` re-sent its logged tuples to a restarted ``dst``."""
+        self.emit(REPLAY, proc=proc, dst=dst, count=count)
 
     # ------------------------------------------------------------------
     # Spans

@@ -15,6 +15,14 @@ from .discriminating import (
     binary_g,
     stable_hash,
 )
+from .faults import (
+    ChannelFault,
+    FaultPlan,
+    KillFault,
+    WorkerFaults,
+    build_fault_plan,
+    parse_fault_spec,
+)
 from .metrics import CostModel, ParallelMetrics
 from .plans import FragmentSpec, ParallelProgram, ProcessorProgram
 from .processor import ProcessorRuntime
@@ -36,11 +44,14 @@ __all__ = [
     "BROADCAST",
     "ConstantDiscriminator",
     "CostModel",
+    "ChannelFault",
     "Discriminator",
     "DiscriminatorFamily",
+    "FaultPlan",
     "FragmentSpec",
     "HashConstraint",
     "HashDiscriminator",
+    "KillFault",
     "LinearDiscriminator",
     "LocalRetentionFamily",
     "ModuloDiscriminator",
@@ -55,12 +66,15 @@ __all__ = [
     "SimulatedCluster",
     "TupleDiscriminator",
     "UniformFamily",
+    "WorkerFaults",
     "auto_specs",
     "binary_g",
+    "build_fault_plan",
     "example1_scheme",
     "example2_scheme",
     "example3_scheme",
     "hash_scheme",
+    "parse_fault_spec",
     "position_scheme",
     "rewrite_general",
     "rewrite_linear_family",

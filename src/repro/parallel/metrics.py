@@ -54,10 +54,12 @@ class ParallelMetrics:
     self_delivered: Counter = field(default_factory=Counter)  # i -> tuples
     received: Counter = field(default_factory=Counter)        # i -> tuples accepted
     duplicates_dropped: Counter = field(default_factory=Counter)
+    replayed: Counter = field(default_factory=Counter)        # i -> tuples re-sent
     broadcast_tuples: int = 0
     pooled_tuples: int = 0
     control_messages: int = 0
     detection_rounds: int = 0
+    restarts: int = 0
     per_round_work: List[Dict[ProcessorId, float]] = field(default_factory=list)
     per_round_sent: List[Dict[ProcessorId, int]] = field(default_factory=list)
     per_round_received: List[Dict[ProcessorId, int]] = field(default_factory=list)
@@ -166,4 +168,6 @@ class ParallelMetrics:
             "pooled": self.pooled_tuples,
             "channels_used": len(self.used_channels()),
             "load_balance": round(self.load_balance(), 4),
+            "restarts": self.restarts,
+            "replayed": sum(self.replayed.values()),
         }

@@ -1,4 +1,12 @@
-"""Real multiprocessing execution of rewritten programs."""
+"""Real multiprocessing execution of rewritten programs.
+
+One OS process per processor, one queue per channel, a Mattern-style
+counting double-probe for quiescence, and a restart-and-replay fault
+tolerance layer (``recovery="restart"``) backed by Theorem 1 plus
+Datalog's monotonicity.  The protocol and its invariants are documented
+in :mod:`.protocol`; liveness detection and recovery live in
+:mod:`.runner`; the per-process loop and sent-logs in :mod:`.worker`.
+"""
 
 from .protocol import WorkerStats
 from .runner import MPResult, run_multiprocessing

@@ -1,21 +1,71 @@
 """Wire protocol of the multiprocessing executor.
 
-Messages are plain picklable tuples; the first element is a tag:
+Messages are plain picklable tuples; the first element is a tag.
 
-* ``("data", sender, predicate, facts)`` — worker → worker, tuples on a
-  channel (the paper's ``t_ij`` predicates).
+Data plane (worker → worker):
+
+* ``("data", sender, predicate, facts, epoch)`` — tuples on a channel
+  (the paper's ``t_ij`` predicates).  ``epoch`` is the *recovery epoch*
+  the sender was in when it sent (see below); receivers always ingest
+  the facts (monotonicity makes stale deliveries harmless) but count
+  them toward quiescence only when the epochs match.
+
+Control plane (coordinator ↔ worker):
+
 * ``("probe", seq)`` — coordinator → worker, a quiescence probe.
-* ``("ack", processor, seq, sent, received, activity)`` — worker →
-  coordinator, counters at probe time.  ``activity`` is a monotone
-  counter of messages ingested and emitted; two identical consecutive
-  snapshots with balanced global counters mean quiescence.
+* ``("ack", processor, seq, sent, received, activity, epoch)`` —
+  worker → coordinator, counters at probe time.  ``sent``/``received``
+  count only current-epoch data tuples; ``activity`` is a monotone
+  counter of tuples ingested, emitted and re-sent.
 * ``("stop",)`` — coordinator → worker, terminate and report.
 * ``("result", processor, outputs, stats)`` — worker → coordinator,
-  final output relations and counters.
-* ``("error", processor, text)`` — worker → coordinator, crash report.
+  final output relations and cumulative counters.
+* ``("error", processor, text)`` — worker → coordinator, crash report
+  (only reachable when the worker's Python level survives to format a
+  traceback — a ``SIGKILL`` produces no message at all, which is why
+  the coordinator also polls ``Process.is_alive``).
 * ``("trace", processor, events)`` — worker → coordinator, a batch of
   trace events in flat dict form (see :mod:`repro.obs`); sent only when
   the run is traced, flushed at probe time and before the final result.
+
+Recovery plane (coordinator → worker, see :mod:`.runner`):
+
+* ``("reset", epoch)`` — a worker died and was restarted; survivors
+  enter recovery epoch ``epoch`` and zero their quiescence counters.
+* ``("replay", target)`` — re-send every tuple ever sent to ``target``
+  (from the per-target sent-log) under the current epoch.
+
+Quiescence invariant
+--------------------
+
+The coordinator detects termination with a counting double probe
+(Mattern-style).  A wave is *balanced* when ``Σ sent == Σ received``
+over all acks of the wave, and *unchanged* when no worker's
+``activity`` moved since the previous wave.  Balanced + unchanged over
+two consecutive waves implies all channels are empty and all workers
+are idle, because:
+
+1. every data tuple increments exactly one ``sent`` at the sender (at
+   enqueue time) and one ``received`` at the receiver (at dequeue
+   time), so ``Σ sent − Σ received`` equals the number of in-flight
+   tuples — *provided both ends count in the same epoch*, which the
+   epoch stamp guarantees;
+2. a worker with staged-but-unprocessed input has already bumped
+   ``activity`` for it, and processing staged input either derives
+   nothing new (then the worker is genuinely idle) or emits tuples,
+   which bump ``activity`` again — so two identical ``activity``
+   snapshots bracket a window in which no work happened;
+3. balanced counters taken *between* two unchanged snapshots cannot be
+   a coincidence of crossing messages: any message received after wave
+   one would have moved ``activity`` by wave two.
+
+Recovery epochs exist to protect invariant (1) across a restart: the
+counters of a dead worker vanish with it, so the global sums would
+never balance again.  Bumping the epoch and zeroing every survivor's
+``sent``/``received`` restarts the accounting from a consistent cut —
+tuples from the old epoch that are still in flight are ingested but
+not counted (their send-side count was zeroed too), and every replayed
+or newly derived tuple is counted symmetrically in the new epoch.
 """
 
 from __future__ import annotations
@@ -30,6 +80,8 @@ __all__ = [
     "RESULT",
     "ERROR",
     "TRACE",
+    "RESET",
+    "REPLAY",
     "WorkerStats",
 ]
 
@@ -40,13 +92,32 @@ STOP = "stop"
 RESULT = "result"
 ERROR = "error"
 TRACE = "trace"
+RESET = "reset"
+REPLAY = "replay"
 
 
 class WorkerStats:
-    """Picklable snapshot of one worker's counters."""
+    """Picklable snapshot of one worker's cumulative counters.
+
+    Unlike the per-epoch quiescence counters in ``ack`` messages, these
+    are cumulative over the worker's lifetime (a restarted worker starts
+    fresh — its predecessor's counters died with it).
+
+    Attributes:
+        firings: successful ground substitutions.
+        probes: index probes performed by the engine.
+        iterations: local semi-naive iterations.
+        sent_by_target: per-peer count of tuples actually put on the
+            peer's queue (replays included, dropped-by-fault excluded).
+        received: data tuples taken off the inbox.
+        duplicates_dropped: received tuples discarded as duplicates.
+        self_delivered: tuples routed to the worker itself (no queue).
+        replayed: tuples re-sent while serving ``replay`` requests.
+    """
 
     __slots__ = ("firings", "probes", "iterations", "sent_by_target",
-                 "received", "duplicates_dropped", "self_delivered")
+                 "received", "duplicates_dropped", "self_delivered",
+                 "replayed")
 
     def __init__(self) -> None:
         self.firings: int = 0
@@ -56,6 +127,7 @@ class WorkerStats:
         self.received: int = 0
         self.duplicates_dropped: int = 0
         self.self_delivered: int = 0
+        self.replayed: int = 0
 
     def total_sent(self) -> int:
         """Tuples this worker put on remote channels."""

@@ -6,6 +6,27 @@ double-probe (Mattern-style): two consecutive probe waves in which no
 worker's activity counter moved and the global sent/received counters
 balance imply that no data message can be in flight, i.e. the paper's
 termination condition — all processors idle and all channels empty.
+The full invariant argument lives in :mod:`.protocol`.
+
+Fault tolerance.  The coordinator polls ``Process.is_alive`` inside the
+ack-collection loop, so a worker that dies *silently* (``SIGKILL``, OOM
+kill, an injected fault) is detected within about one probe interval
+instead of hanging the run to the global timeout.  What happens next is
+the ``recovery`` policy:
+
+* ``"fail"`` (default) — raise :class:`~repro.errors.ExecutionError`
+  naming the dead worker and its exit code;
+* ``"restart"`` — exploit Theorem 1 plus monotonicity: respawn the
+  worker from its base fragment, bump the *recovery epoch* (survivors
+  zero their quiescence counters — see :mod:`.protocol` for why), and
+  ask every survivor to replay its per-target sent-log to the newcomer.
+  Re-derivation is idempotent and duplicates are discarded by the
+  receiving step, so the recovered run's answer equals an undisturbed
+  one exactly.
+
+A worker that is alive but fails to ack for ``ack_timeout`` seconds is
+reported as wedged (that is a bug or a deadlock, not a crash — restart
+cannot be assumed safe, so this always raises).
 
 Python's GIL makes *thread*-level parallelism useless for this
 workload; separate processes sidestep it, at the cost of pickling
@@ -16,7 +37,9 @@ are the simulator's job.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import queue as queue_module
 import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
@@ -25,10 +48,21 @@ from ...errors import ExecutionError
 from ...facts.database import Database
 from ...facts.relation import Relation
 from ...obs.tracer import Tracer, ensure_tracer
+from ..faults import FaultPlan
 from ..metrics import ParallelMetrics
 from ..naming import processor_tag
 from ..plans import ParallelProgram
-from .protocol import ACK, ERROR, PROBE, RESULT, STOP, TRACE, WorkerStats
+from .protocol import (
+    ACK,
+    ERROR,
+    PROBE,
+    REPLAY,
+    RESET,
+    RESULT,
+    STOP,
+    TRACE,
+    WorkerStats,
+)
 from .worker import worker_main
 
 __all__ = ["MPResult", "run_multiprocessing"]
@@ -47,12 +81,15 @@ class MPResult:
         stats: raw per-worker counter snapshots.
         wall_seconds: end-to-end wall-clock time including process
             start-up and termination detection.
+        restarts: workers restarted by the ``"restart"`` recovery
+            policy (0 for an undisturbed run).
     """
 
     output: Database
     metrics: ParallelMetrics
     stats: Dict[ProcessorId, WorkerStats]
     wall_seconds: float
+    restarts: int = 0
 
     def relation(self, predicate: str) -> Relation:
         """Convenience accessor for a pooled output relation."""
@@ -69,24 +106,45 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                         probe_interval: float = 0.02,
                         timeout: float = 120.0,
                         start_method: Optional[str] = None,
-                        tracer: Optional[Tracer] = None) -> MPResult:
+                        tracer: Optional[Tracer] = None,
+                        recovery: str = "fail",
+                        faults: Optional[FaultPlan] = None,
+                        max_restarts: int = 3,
+                        ack_timeout: float = 30.0) -> MPResult:
     """Execute a rewritten program on real OS processes.
 
     Args:
         program: the rewritten program.
         database: the global extensional input.
-        probe_interval: seconds between quiescence probe waves.
+        probe_interval: seconds between quiescence probe waves; also
+            bounds failure-detection latency (a dead worker is noticed
+            within about two intervals).
         timeout: overall wall-clock limit.
         start_method: multiprocessing start method (default: ``fork``
             when available, else the platform default).
         tracer: optional :class:`~repro.obs.Tracer`.  Workers buffer
             typed events and stream them back as ``("trace", ...)``
             batches; the coordinator forwards them into the tracer's
-            sink alongside its own lifecycle/probe events.
+            sink alongside its own lifecycle/probe/recovery events.
+        recovery: ``"fail"`` — a dead worker aborts the run with a
+            precise error; ``"restart"`` — dead workers are respawned
+            from their base fragments and peers replay their sent-logs
+            (the recovered answer is exactly the undisturbed one).
+        faults: optional :class:`~repro.parallel.faults.FaultPlan` to
+            inject (kills and channel disturbances).  Kill faults are
+            one-shot: restarted workers are spawned unarmed.
+        max_restarts: total worker restarts allowed before giving up.
+        ack_timeout: seconds a live worker may go without acking a
+            probe before the run is declared wedged.
 
     Raises:
-        ExecutionError: on worker crash or timeout.
+        ExecutionError: on worker crash, unrecovered death, wedged
+            worker or timeout.
     """
+    if recovery not in ("fail", "restart"):
+        raise ExecutionError(
+            f"unknown recovery policy {recovery!r}: expected 'fail' or "
+            "'restart'")
     started = time.perf_counter()
     tracer = ensure_tracer(tracer)
     tracing = tracer.enabled
@@ -97,25 +155,97 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
 
     order = sorted(program.processors, key=processor_tag)
     tags = {proc: processor_tag(proc) for proc in order}
+    if faults is not None:
+        known = set(tags.values())
+        for kill in faults.kills:
+            if kill.processor not in known:
+                raise ExecutionError(
+                    f"kill fault names unknown processor "
+                    f"{kill.processor!r}; known: {sorted(known)}")
     inboxes = {proc: context.Queue() for proc in order}
     coordinator_queue = context.Queue()
+    locals_by_proc = {proc: _picklable_local(program, proc, database)
+                      for proc in order}
+    worker_faults = {
+        proc: faults.worker_faults(tags[proc]) if faults is not None else None
+        for proc in order
+    }
 
     if tracing:
         tracer.run_start(scheme=program.scheme + "+mp",
                          processors=[tags[p] for p in order], executor="mp")
-    workers = []
+
+    processes: Dict[ProcessorId, multiprocessing.Process] = {}
+    epoch = 0
+    restarts = 0
+
+    def spawn(proc: ProcessorId, armed: bool) -> None:
+        """Start (or restart) the worker of ``proc``.
+
+        Restarted workers reuse their original inbox queue — messages
+        already enqueued for the dead predecessor are still valid input
+        (monotonicity) — and are spawned with ``armed=False`` so an
+        injected kill fires at most once per processor.
+        """
+        injected = worker_faults[proc]
+        if injected is not None and not armed:
+            injected = dataclasses.replace(injected, kill_after=None)
+            if injected.kill_after is None and not injected.channel_faults:
+                injected = None
+        process = context.Process(
+            target=worker_main,
+            args=(program.program_for(proc), locals_by_proc[proc],
+                  inboxes[proc], inboxes, coordinator_queue, tracing,
+                  injected, epoch),
+            daemon=True)
+        process.start()
+        processes[proc] = process
+
+    def fail_dead(dead: List[ProcessorId], reason: str) -> None:
+        names = ", ".join(
+            f"{tags[proc]!r} (exit code {processes[proc].exitcode})"
+            for proc in dead)
+        raise ExecutionError(
+            f"worker{'s' if len(dead) > 1 else ''} {names} died without "
+            f"reporting an error; {reason}")
+
+    def handle_dead(dead: List[ProcessorId]) -> None:
+        """Apply the recovery policy to silently-dead workers."""
+        nonlocal epoch, restarts
+        if tracing:
+            for proc in dead:
+                tracer.worker_down(tags[proc],
+                                   exitcode=processes[proc].exitcode,
+                                   epoch=epoch)
+        if recovery != "restart":
+            fail_dead(dead, "recovery policy is 'fail'")
+        if restarts + len(dead) > max_restarts:
+            fail_dead(dead, f"max_restarts={max_restarts} exhausted")
+        restarts += len(dead)
+        epoch += 1
+        for proc in dead:
+            processes[proc].join(timeout=1.0)
+            spawn(proc, armed=False)
+            if tracing:
+                tracer.worker_restart(tags[proc], epoch=epoch)
+        # Survivors first zero their quiescence counters at the new
+        # epoch, then replay their sent-logs to every newcomer; inbox
+        # FIFO order guarantees each survivor processes its RESET
+        # before the probes of the next wave.
+        survivors = [proc for proc in order if proc not in dead]
+        for proc in survivors:
+            inboxes[proc].put((RESET, epoch))
+        for proc in survivors:
+            for casualty in dead:
+                inboxes[proc].put((REPLAY, casualty))
+
+    workers_started = False
     try:
         for proc in order:
-            process = context.Process(
-                target=worker_main,
-                args=(program.program_for(proc),
-                      _picklable_local(program, proc, database),
-                      inboxes[proc], inboxes, coordinator_queue, tracing),
-                daemon=True)
-            process.start()
-            workers.append(process)
+            spawn(proc, armed=True)
             if tracing:
                 tracer.worker_spawn(tags[proc])
+        workers_started = True
 
         sequence = 0
         probes_sent = 0
@@ -132,23 +262,62 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             if tracing:
                 tracer.probe(seq=sequence, wave=len(order))
             snapshot: Dict[ProcessorId, Tuple[int, int, int]] = {}
+            wave_started = time.perf_counter()
+            recovered = False
             while len(snapshot) < len(order):
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0:
+                now = time.perf_counter()
+                if now > deadline:
                     raise ExecutionError(
                         f"no quiescence within {timeout} seconds")
-                message = coordinator_queue.get(timeout=remaining)
+                dead = [proc for proc in order
+                        if proc not in snapshot
+                        and not processes[proc].is_alive()]
+                if dead:
+                    # Prefer a worker's own crash report when one is
+                    # already queued (a polite crash exits 0 after
+                    # posting ERROR; only truly silent deaths recover).
+                    while True:
+                        try:
+                            message = coordinator_queue.get_nowait()
+                        except queue_module.Empty:
+                            break
+                        if message[0] == ERROR:
+                            raise ExecutionError(
+                                f"worker {tags[message[1]]!r} crashed:\n"
+                                f"{message[2]}")
+                        if message[0] == TRACE:
+                            for payload in message[2]:
+                                tracer.ingest(payload)
+                    handle_dead(dead)
+                    recovered = True
+                    break
+                if now - wave_started > ack_timeout:
+                    missing = ", ".join(repr(tags[proc]) for proc in order
+                                        if proc not in snapshot)
+                    raise ExecutionError(
+                        f"worker(s) {missing} alive but did not ack probe "
+                        f"{sequence} within {ack_timeout} seconds (wedged?)")
+                try:
+                    message = coordinator_queue.get(
+                        timeout=min(probe_interval, deadline - now))
+                except queue_module.Empty:
+                    continue
                 tag = message[0]
                 if tag == ERROR:
                     raise ExecutionError(
-                        f"worker {message[1]!r} crashed:\n{message[2]}")
+                        f"worker {tags[message[1]]!r} crashed:\n{message[2]}")
                 if tag == TRACE:
                     for payload in message[2]:
                         tracer.ingest(payload)
                     continue
-                if tag == ACK and message[2] == sequence:
-                    _, proc, _seq, sent, received, activity = message
+                if tag == ACK and message[2] == sequence and message[6] == epoch:
+                    _, proc, _seq, sent, received, activity, _epoch = message
                     snapshot[proc] = (sent, received, activity)
+            if recovered:
+                # The aborted wave's counters are meaningless across the
+                # epoch change; restart the double-probe from scratch.
+                previous = None
+                continue
             total_sent = sum(s for s, _, _ in snapshot.values())
             total_received = sum(r for _, r, _ in snapshot.values())
             balanced = total_sent == total_received
@@ -164,15 +333,30 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         outputs: Dict[ProcessorId, Dict[str, List[tuple]]] = {}
         stats: Dict[ProcessorId, WorkerStats] = {}
         while len(outputs) < len(order):
-            remaining = deadline - time.perf_counter()
-            if remaining <= 0:
+            now = time.perf_counter()
+            if now > deadline:
                 raise ExecutionError(
                     f"workers did not report within {timeout} seconds")
-            message = coordinator_queue.get(timeout=remaining)
+            # A worker that exits non-zero here died between quiescence
+            # and its final report; its peers have already been told to
+            # stop, so replay targets are gone and restart is no longer
+            # possible — fail precisely instead.
+            dead = [proc for proc in order
+                    if proc not in outputs
+                    and not processes[proc].is_alive()
+                    and processes[proc].exitcode not in (None, 0)]
+            if dead:
+                fail_dead(dead, "death during result collection is not "
+                                "recoverable")
+            try:
+                message = coordinator_queue.get(
+                    timeout=min(0.1, deadline - now))
+            except queue_module.Empty:
+                continue
             tag = message[0]
             if tag == ERROR:
                 raise ExecutionError(
-                    f"worker {message[1]!r} crashed:\n{message[2]}")
+                    f"worker {tags[message[1]]!r} crashed:\n{message[2]}")
             if tag == TRACE:
                 for payload in message[2]:
                     tracer.ingest(payload)
@@ -186,16 +370,18 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                                        firings=worker_stats.firings,
                                        probes=worker_stats.probes,
                                        received=worker_stats.received)
-        for process in workers:
+        for process in processes.values():
             process.join(timeout=5.0)
     finally:
-        for process in workers:
-            if process.is_alive():
-                process.terminate()
+        if workers_started or processes:
+            for process in processes.values():
+                if process.is_alive():
+                    process.terminate()
 
     metrics = ParallelMetrics(scheme=program.scheme + "+mp",
                               processors=tuple(order))
     metrics.control_messages = probes_sent
+    metrics.restarts = restarts
     for proc in order:
         worker_stats = stats[proc]
         metrics.firings[proc] = worker_stats.firings
@@ -203,6 +389,7 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         metrics.received[proc] = worker_stats.received
         metrics.duplicates_dropped[proc] = worker_stats.duplicates_dropped
         metrics.self_delivered[proc] = worker_stats.self_delivered
+        metrics.replayed[proc] = worker_stats.replayed
         for target, count in worker_stats.sent_by_target.items():
             metrics.sent[(proc, target)] += count
 
@@ -221,6 +408,7 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         tracer.run_end(firings=metrics.total_firings(),
                        sent=metrics.total_sent(),
                        control_messages=probes_sent,
+                       restarts=restarts,
                        wall_seconds=wall_seconds)
     return MPResult(output=output, metrics=metrics, stats=stats,
-                    wall_seconds=wall_seconds)
+                    wall_seconds=wall_seconds, restarts=restarts)

@@ -4,24 +4,59 @@ Each worker owns one :class:`~repro.parallel.processor.ProcessorRuntime`
 and a queue per peer.  It drains its inbox, steps the semi-naive loop on
 whatever arrived (receives are asynchronous — the paper's stipulation),
 pushes new tuples straight onto the destination queues, and answers the
-coordinator's quiescence probes with its counters.
+coordinator's quiescence probes with its counters (see
+:mod:`.protocol` for the probe/ack invariants).
+
+Fault tolerance.  Every worker keeps a *sent-log*: per peer, the exact
+``(predicate, fact)`` sequence it has routed there.  When the
+coordinator restarts a dead peer it asks the survivors to ``replay``
+their logs to it; combined with the restarted worker re-deriving its own
+outputs from its base fragment, monotonicity plus duplicate-dropping
+makes the recovered run's answer identical to an undisturbed one
+(Theorem 1 under failure).  ``reset`` messages carry the new recovery
+epoch; see :mod:`.protocol` for why quiescence counters must be zeroed
+at that cut.
+
+Fault injection.  When a :class:`~repro.parallel.faults.WorkerFaults`
+slice is supplied, the worker disturbs its *own* sends (drop / delay /
+duplicate, seeded per worker) and, if armed with a kill fault, delivers
+a real ``SIGKILL`` to itself once its firing count crosses the
+threshold.  The suicide happens at a step boundary after flushing the
+outbound queue feeders, so the shared queue locks are never torn down
+mid-write — the failure is silent at the protocol level (no ``error``
+message) but clean at the OS level, which is exactly the scenario the
+coordinator's liveness probing exists for.
 """
 
 from __future__ import annotations
 
+import os
 import queue as queue_module
+import signal
 import time
 import traceback
-from typing import Dict, Hashable, List, Mapping, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ...facts.database import Database
 from ...facts.relation import Relation
 from ...obs.sinks import InMemorySink
 from ...obs.tracer import NULL_TRACER, Tracer
+from ..faults import DELAY, DELIVER, DROP, WorkerFaults
 from ..naming import processor_tag
 from ..plans import ProcessorProgram
 from ..processor import ProcessorRuntime
-from .protocol import ACK, DATA, ERROR, PROBE, RESULT, STOP, TRACE, WorkerStats
+from .protocol import (
+    ACK,
+    DATA,
+    ERROR,
+    PROBE,
+    REPLAY,
+    RESET,
+    RESULT,
+    STOP,
+    TRACE,
+    WorkerStats,
+)
 
 __all__ = ["worker_main"]
 
@@ -40,7 +75,9 @@ def _rebuild_database(relations: Mapping[str, Tuple[int, List[tuple]]]) -> Datab
 def worker_main(program: ProcessorProgram,
                 local_relations: Mapping[str, Tuple[int, List[tuple]]],
                 inbox, peer_queues: Mapping[ProcessorId, object],
-                coordinator_queue, trace: bool = False) -> None:
+                coordinator_queue, trace: bool = False,
+                faults: Optional[WorkerFaults] = None,
+                epoch: int = 0) -> None:
     """Entry point of a worker process.
 
     Args:
@@ -51,11 +88,27 @@ def worker_main(program: ProcessorProgram,
         coordinator_queue: queue for acks/results to the coordinator.
         trace: when True, buffer typed trace events locally and stream
             them to the coordinator as ``("trace", ...)`` batches.
+        faults: optional injected-fault slice for this worker.
+        epoch: recovery epoch to start in (non-zero for workers spawned
+            as replacements after a failure).
     """
     me = program.processor
     tag = processor_tag(me)
     stats = WorkerStats()
     activity = 0
+    # Per-epoch quiescence counters: zeroed on RESET so the global
+    # sent/received balance survives the loss of a dead peer's counters.
+    epoch_sent = 0
+    epoch_received = 0
+    # Per-peer log of everything ever routed there, for replay on a
+    # peer's restart.  Kept as flat (predicate, fact) pairs in send
+    # order; memory is bounded by the peer's t_in size times fan-out.
+    sent_log: Dict[ProcessorId, List[Tuple[str, tuple]]] = {}
+    # Sends held back by an injected delay fault, flushed at the next
+    # probe (so a delayed tuple is late by at most one probe interval).
+    delayed: List[Tuple[ProcessorId, str, tuple]] = []
+    channel_faults = faults.channel_state() if faults is not None else None
+    kill_after = faults.kill_after if faults is not None else None
     if trace:
         trace_sink = InMemorySink()
         tracer: Tracer = Tracer(trace_sink, clock=time.monotonic)
@@ -72,6 +125,40 @@ def worker_main(program: ProcessorProgram,
     try:
         runtime = ProcessorRuntime(program, _rebuild_database(local_relations),
                                    tracer=tracer)
+
+        def maybe_die() -> None:
+            """Carry out an armed kill fault (a genuine self-SIGKILL).
+
+            Called only at step boundaries; flushes this process's
+            buffered queue writes first so no peer is left blocked on a
+            lock the dying feeder thread held.
+            """
+            if kill_after is None:
+                return
+            if runtime.counters.total_firings() < kill_after:
+                return
+            for peer_queue in peer_queues.values():
+                peer_queue.close()
+                peer_queue.join_thread()
+            coordinator_queue.close()
+            coordinator_queue.join_thread()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        def send(target: ProcessorId, predicate: str, facts: List[tuple],
+                 replay: bool = False) -> None:
+            """Put one data batch on ``target``'s queue and count it."""
+            nonlocal activity, epoch_sent
+            peer_queues[target].put((DATA, me, predicate, facts, epoch))
+            stats.sent_by_target[target] = (
+                stats.sent_by_target.get(target, 0) + len(facts))
+            epoch_sent += len(facts)
+            activity += len(facts)
+            if replay:
+                stats.replayed += len(facts)
+            if trace and not replay:
+                target_tag = processor_tag(target)
+                for _ in facts:
+                    tracer.tuple_sent(tag, target_tag, predicate)
 
         def route(emissions: List[Tuple[str, tuple]]) -> None:
             nonlocal activity
@@ -90,22 +177,56 @@ def worker_main(program: ProcessorProgram,
                         stats.self_delivered += 1
                         activity += 1
                     else:
+                        # Logged before any fault decision: a dropped
+                        # send must still be replayable.
+                        sent_log.setdefault(target, []).append(
+                            (predicate, fact))
                         batches.setdefault(target, []).append((predicate, fact))
             for target, batch in batches.items():
                 by_pred: Dict[str, List[tuple]] = {}
                 for predicate, fact in batch:
+                    if channel_faults is not None:
+                        verdict = channel_faults.decide(
+                            tag, processor_tag(target))
+                        if verdict == DROP:
+                            continue
+                        if verdict == DELAY:
+                            delayed.append((target, predicate, fact))
+                            continue
+                        if verdict != DELIVER:  # duplicate
+                            by_pred.setdefault(predicate, []).append(fact)
                     by_pred.setdefault(predicate, []).append(fact)
-                target_tag = processor_tag(target)
                 for predicate, facts in by_pred.items():
-                    peer_queues[target].put((DATA, me, predicate, facts))
-                    stats.sent_by_target[target] = (
-                        stats.sent_by_target.get(target, 0) + len(facts))
-                    activity += len(facts)
-                    if trace:
-                        for _ in facts:
-                            tracer.tuple_sent(tag, target_tag, predicate)
+                    send(target, predicate, facts)
+
+        def flush_delayed() -> None:
+            """Deliver sends an injected delay fault held back."""
+            if not delayed:
+                return
+            held, delayed[:] = list(delayed), []
+            by_target: Dict[ProcessorId, Dict[str, List[tuple]]] = {}
+            for target, predicate, fact in held:
+                by_target.setdefault(target, {}).setdefault(
+                    predicate, []).append(fact)
+            for target, by_pred in by_target.items():
+                for predicate, facts in by_pred.items():
+                    send(target, predicate, facts)
+
+        def replay_to(target: ProcessorId) -> None:
+            """Re-send the full sent-log of ``target`` (its restart)."""
+            log = sent_log.get(target, [])
+            if not log:
+                return
+            by_pred: Dict[str, List[tuple]] = {}
+            for predicate, fact in log:
+                by_pred.setdefault(predicate, []).append(fact)
+            for predicate, facts in by_pred.items():
+                send(target, predicate, facts, replay=True)
+            if trace:
+                tracer.replay(tag, processor_tag(target), len(log))
 
         route(runtime.initialize())
+        maybe_die()
         running = True
         while running:
             # Drain everything currently queued, blocking briefly when idle.
@@ -118,9 +239,11 @@ def worker_main(program: ProcessorProgram,
                     break
                 kind = message[0]
                 if kind == DATA:
-                    _, sender, predicate, facts = message
+                    _, sender, predicate, facts, msg_epoch = message
                     runtime.receive(predicate, facts, remote=True)
                     stats.received += len(facts)
+                    if msg_epoch == epoch:
+                        epoch_received += len(facts)
                     activity += len(facts)
                     drained_any = True
                     if trace:
@@ -129,16 +252,30 @@ def worker_main(program: ProcessorProgram,
                             tracer.tuple_received(tag, sender_tag, predicate)
                 elif kind == PROBE:
                     _, seq = message
+                    flush_delayed()
                     stats.firings = runtime.counters.total_firings()
                     stats.probes = runtime.counters.probes
                     stats.iterations = runtime.counters.iterations
                     stats.duplicates_dropped = runtime.duplicates_dropped
                     coordinator_queue.put(
-                        (ACK, me, seq, stats.total_sent(),
-                         stats.received, activity))
+                        (ACK, me, seq, epoch_sent, epoch_received, activity,
+                         epoch))
                     if trace:
                         tracer.probe(tag, seq=seq, activity=activity)
                         flush_trace()
+                elif kind == RESET:
+                    # A stale RESET can linger in a dead worker's inbox
+                    # and be read by its replacement (which spawns in a
+                    # later epoch); epochs must never regress.
+                    _, new_epoch = message
+                    if new_epoch > epoch:
+                        epoch = new_epoch
+                        epoch_sent = 0
+                        epoch_received = 0
+                elif kind == REPLAY:
+                    _, target = message
+                    replay_to(target)
+                    drained_any = True
                 elif kind == STOP:
                     running = False
                     break
@@ -157,6 +294,7 @@ def worker_main(program: ProcessorProgram,
                 if emissions:
                     activity += len(emissions)
                 route(emissions)
+                maybe_die()
 
         stats.firings = runtime.counters.total_firings()
         stats.probes = runtime.counters.probes

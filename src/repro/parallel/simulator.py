@@ -14,6 +14,16 @@ channels empty.  The simulator sees this globally; optionally it also
 runs Safra's token-ring termination-detection algorithm — the "standard
 algorithm of Distributed Computing" the paper defers to [5, 7] — and
 reports its control-message overhead and detection delay.
+
+Fault injection (see :mod:`repro.parallel.faults`) shares its spec
+language with the multiprocessing executor: kill faults discard a
+processor's runtime state once its firing count crosses the threshold
+(round granularity here, step granularity in mp), and channel faults
+drop/delay/duplicate individual in-flight tuples from a seeded RNG.
+Under ``recovery="restart"`` a killed processor is rebuilt from its
+base fragment at the next round and its peers replay their per-target
+sent-logs to it — the same monotonicity-backed protocol the mp
+executor uses, so recovered outputs match undisturbed ones exactly.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from ..facts.database import Database
 from ..facts.relation import Fact, Relation
 from ..network.netgraph import NetworkGraph
 from ..obs.tracer import Tracer, ensure_tracer
+from .faults import DELAY, DROP, DUPLICATE, FaultPlan
 from .metrics import ParallelMetrics
 from .naming import processor_tag
 from .plans import ParallelProgram
@@ -136,6 +147,13 @@ class SimulatedCluster:
             round-based and fully deterministic, so the tracer should
             carry no clock: equal seeds then yield byte-identical
             event streams.
+        faults: optional :class:`~repro.parallel.faults.FaultPlan` to
+            inject (kills at round granularity, per-tuple channel
+            drop/delay/duplicate from the plan's own seeded RNG).
+        recovery: ``"fail"`` — an injected kill aborts the run with
+            :class:`~repro.errors.ExecutionError`; ``"restart"`` — the
+            killed processor is rebuilt from its base fragment and its
+            peers replay their sent-logs to it.
     """
 
     def __init__(self, program: ParallelProgram, database: Database,
@@ -143,7 +161,13 @@ class SimulatedCluster:
                  detect_termination: bool = False, reorder: bool = True,
                  max_rounds: int = 1_000_000,
                  network: Optional[NetworkGraph] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None,
+                 recovery: str = "fail") -> None:
+        if recovery not in ("fail", "restart"):
+            raise ExecutionError(
+                f"unknown recovery policy {recovery!r}: expected 'fail' or "
+                "'restart'")
         self.program = program
         self.database = database
         self.delay_probability = delay_probability
@@ -151,6 +175,8 @@ class SimulatedCluster:
         self.max_rounds = max_rounds
         self.network = network
         self.tracer = ensure_tracer(tracer)
+        self.recovery = recovery
+        self._reorder = reorder
         self._rng = random.Random(seed)
         self._order = sorted(program.processors, key=processor_tag)
         self._tags = {proc: processor_tag(proc) for proc in self._order}
@@ -164,6 +190,21 @@ class SimulatedCluster:
             scheme=program.scheme, processors=tuple(self._order))
         self._detector = (_SafraDetector(self._order)
                           if detect_termination else None)
+        # Fault injection state: kill thresholds by processor (one-shot),
+        # the channel-fault decider, and per-channel sent-logs for replay.
+        self._kill_after: Dict[ProcessorId, int] = {}
+        self._channel_faults = None
+        self._sent_log: Dict[Tuple[ProcessorId, ProcessorId],
+                             List[Tuple[str, Fact]]] = {}
+        if faults is not None:
+            known = {tag: proc for proc, tag in self._tags.items()}
+            for kill in faults.kills:
+                if kill.processor not in known:
+                    raise ExecutionError(
+                        f"kill fault names unknown processor "
+                        f"{kill.processor!r}; known: {sorted(known)}")
+                self._kill_after[known[kill.processor]] = kill.after_firings
+            self._channel_faults = faults.channel_state()
 
     # ------------------------------------------------------------------
     def _route(self, sender: ProcessorId,
@@ -196,6 +237,11 @@ class SimulatedCluster:
                             "routing)")
                     self.metrics.sent[(sender, target)] += 1
                     sent_by_dest[target] = sent_by_dest.get(target, 0) + 1
+                    if self._kill_after:
+                        # Sent-logs only accumulate while a kill fault is
+                        # armed; replay needs them, undisturbed runs don't.
+                        self._sent_log.setdefault((sender, target),
+                                                  []).append((predicate, fact))
                     if self.tracer.enabled:
                         self.tracer.tuple_sent(self._tags[sender],
                                                self._tags[target], predicate)
@@ -219,24 +265,87 @@ class SimulatedCluster:
                 held.append(message)
                 continue
             destination, sender, predicate, fact = message
+            copies = 1
+            if self._channel_faults is not None and destination != sender:
+                verdict = self._channel_faults.decide(
+                    self._tags[sender], self._tags[destination])
+                if verdict == DROP:
+                    continue
+                if verdict == DELAY:
+                    held.append(message)
+                    continue
+                if verdict == DUPLICATE:
+                    copies = 2
             remote = destination != sender
-            self.runtimes[destination].receive(predicate, [fact], remote=remote)
-            if remote:
-                remote_received[destination] = (
-                    remote_received.get(destination, 0) + 1)
-                if self.tracer.enabled:
-                    self.tracer.tuple_received(self._tags[destination],
-                                               self._tags[sender], predicate)
+            for _ in range(copies):
+                self.runtimes[destination].receive(predicate, [fact],
+                                                   remote=remote)
+                if remote:
+                    remote_received[destination] = (
+                        remote_received.get(destination, 0) + 1)
+                    if self.tracer.enabled:
+                        self.tracer.tuple_received(self._tags[destination],
+                                                   self._tags[sender],
+                                                   predicate)
         if self._detector is not None:
             for proc, count in remote_received.items():
                 self._detector.on_receive(proc, count)
         return held, remote_received
 
+    def _apply_kills(self, in_flight: List[Message]) -> None:
+        """Fire armed kill faults whose firing threshold was crossed.
+
+        Called at round boundaries.  Under ``recovery="fail"`` the
+        first kill aborts the run; under ``"restart"`` the processor's
+        runtime is rebuilt from its base fragment (all derived state is
+        lost, modelling a process death), peers replay their sent-logs
+        to it, and its initialization rules re-fire.  Kills are
+        one-shot: a restarted processor is never re-killed.
+        """
+        tracing = self.tracer.enabled
+        for proc, threshold in list(self._kill_after.items()):
+            firings = self.runtimes[proc].counters.total_firings()
+            if firings < threshold:
+                continue
+            del self._kill_after[proc]
+            tag = self._tags[proc]
+            if tracing:
+                self.tracer.worker_down(tag, firings=firings,
+                                        round=self.metrics.rounds)
+            if self.recovery != "restart":
+                raise ExecutionError(
+                    f"processor {tag!r} killed by injected fault after "
+                    f"{firings} firings (recovery policy is 'fail')")
+            local = self.program.local_database(proc, self.database)
+            self.runtimes[proc] = ProcessorRuntime(
+                self.program.program_for(proc), local,
+                reorder=self._reorder, tracer=self.tracer)
+            self.metrics.restarts += 1
+            if tracing:
+                self.tracer.worker_restart(tag, round=self.metrics.rounds)
+            for src in self._order:
+                if src == proc:
+                    continue
+                log = self._sent_log.get((src, proc), [])
+                if not log:
+                    continue
+                for predicate, fact in log:
+                    in_flight.append((proc, src, predicate, fact))
+                self.metrics.sent[(src, proc)] += len(log)
+                self.metrics.replayed[src] += len(log)
+                if self._detector is not None:
+                    self._detector.on_send(src, len(log))
+                if tracing:
+                    self.tracer.replay(self._tags[src], tag, len(log))
+            in_flight.extend(
+                self._route(proc, self.runtimes[proc].initialize()))
+
     def run(self) -> ParallelResult:
         """Execute to quiescence and pool the answers.
 
         Raises:
-            ExecutionError: if ``max_rounds`` is exceeded.
+            ExecutionError: if ``max_rounds`` is exceeded, or an
+                injected kill fires under ``recovery="fail"``.
         """
         tracer = self.tracer
         tracing = tracer.enabled
@@ -295,6 +404,9 @@ class SimulatedCluster:
                     sent={self._tags[p]: round_sent[p] for p in self._order},
                     received={self._tags[p]: round_received[p]
                               for p in self._order})
+
+            if self._kill_after:
+                self._apply_kills(in_flight)
 
             if self._detector is not None:
                 hops_before = self._detector.hops

@@ -1,0 +1,149 @@
+"""Fault injection against the round-synchronous simulator.
+
+The simulator and the mp executor consume the same
+:class:`~repro.parallel.faults.FaultPlan`, so Theorem-1-under-failure
+can be exercised cheaply here (no process spawns) across many kill
+points and schemes, including a Hypothesis property test.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.errors import ExecutionError
+from repro.facts import Database
+from repro.parallel import (
+    build_fault_plan,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    run_parallel,
+    wolfson_scheme,
+)
+from repro.workloads import ancestor_program, random_tree_edges
+
+
+@pytest.mark.faultinjection
+class TestSimulatorKills:
+    def test_fail_policy_raises_naming_processor(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@3"])
+        with pytest.raises(ExecutionError) as excinfo:
+            run_parallel(program, tree_db, faults=plan, recovery="fail")
+        assert "'1'" in str(excinfo.value)
+        assert "injected" in str(excinfo.value)
+
+    def test_restart_matches_sequential(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@10"])
+        result = run_parallel(program, tree_db, faults=plan,
+                              recovery="restart")
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.metrics.restarts == 1
+
+    def test_restart_counts_replayed_tuples(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@40"])
+        result = run_parallel(program, tree_db, faults=plan,
+                              recovery="restart")
+        assert sum(result.metrics.replayed.values()) > 0
+        assert result.metrics.summary()["restarts"] == 1
+
+    def test_unknown_kill_tag_rejected(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1))
+        plan = build_fault_plan(["kill:nosuch@3"])
+        with pytest.raises(ExecutionError):
+            run_parallel(program, tree_db, faults=plan)
+
+    def test_invalid_recovery_policy_rejected(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1))
+        with pytest.raises(ExecutionError):
+            run_parallel(program, tree_db, recovery="shrug")
+
+
+@pytest.mark.faultinjection
+class TestSimulatorChannelFaults:
+    def test_duplicates_are_harmless(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        result = run_parallel(program, tree_db,
+                              faults=build_fault_plan(["dup:0.5"], seed=3))
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_certain_duplication_terminates(self, ancestor, chain_db):
+        """dup:1.0 must still quiesce (copies delivered, not re-rolled)."""
+        program = example3_scheme(ancestor, (0, 1, 2))
+        result = run_parallel(program, chain_db,
+                              faults=build_fault_plan(["dup:1.0"]))
+        expected = evaluate(ancestor, chain_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_delays_are_harmless(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        result = run_parallel(program, tree_db,
+                              faults=build_fault_plan(["delay:0.4"], seed=5))
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_drops_lose_answers(self, ancestor, tree_db):
+        """Dropping tuples demonstrates why the paper assumes reliable
+        channels: the result is a strict subset of the true answer."""
+        program = example3_scheme(ancestor, (0, 1, 2))
+        result = run_parallel(program, tree_db,
+                              faults=build_fault_plan(["drop:0.5"], seed=1))
+        expected = evaluate(ancestor, tree_db)
+        got = result.relation("anc").as_set()
+        want = expected.relation("anc").as_set()
+        assert got <= want
+        assert got < want
+
+    def test_same_seed_same_result(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        first = run_parallel(program, tree_db,
+                             faults=build_fault_plan(["drop:0.3"], seed=9))
+        second = run_parallel(program, tree_db,
+                              faults=build_fault_plan(["drop:0.3"], seed=9))
+        assert (first.relation("anc").as_set()
+                == second.relation("anc").as_set())
+        assert first.metrics.rounds == second.metrics.rounds
+
+
+def _scheme(name, program, database):
+    if name == "example2":
+        return example2_scheme(program, (0, 1, 2), database)
+    if name == "example3":
+        return example3_scheme(program, (0, 1, 2))
+    if name == "hash":
+        return hash_scheme(program, (0, 1, 2))
+    return wolfson_scheme(program, (0, 1))
+
+
+@pytest.mark.faultinjection
+@settings(max_examples=25, deadline=None)
+@given(scheme=st.sampled_from(["example2", "example3", "hash", "wolfson"]),
+       victim=st.integers(min_value=0, max_value=1),
+       kill_at=st.integers(min_value=0, max_value=80),
+       tree_seed=st.integers(min_value=0, max_value=5))
+def test_theorem1_under_single_kill_property(scheme, victim, kill_at,
+                                             tree_seed):
+    """Property: for any scheme, victim, kill point and input tree, a
+    single injected kill with restart recovery yields exactly the
+    sequential least model."""
+    program = ancestor_program()
+    database = Database.from_facts(
+        {"par": random_tree_edges(40, seed=tree_seed)})
+    parallel_program = _scheme(scheme, program, database)
+    from repro.parallel.naming import processor_tag
+    tag = processor_tag(parallel_program.processors[victim])
+    plan = build_fault_plan([f"kill:{tag}@{kill_at}"])
+    result = run_parallel(parallel_program, database, faults=plan,
+                          recovery="restart")
+    expected = evaluate(program, database)
+    assert (result.relation("anc").as_set()
+            == expected.relation("anc").as_set())
