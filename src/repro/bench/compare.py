@@ -1,0 +1,189 @@
+"""Comparison of two ``BENCH_*.json`` reports: the regression gate.
+
+``repro bench compare old.json new.json`` matches scenarios by name,
+computes per-metric deltas and flags regressions against a configurable
+threshold.  Two metric classes are treated differently:
+
+* **wall_seconds** — noisy, machine-dependent; compared only when both
+  reports carry the same machine fingerprint (or ``--force-wall``) and
+  gated by the relative threshold;
+* **counter metrics** (firings, probes, tuples sent, output facts) —
+  deterministic for seeded scenarios, so *any* increase beyond the
+  threshold is a genuine algorithmic regression regardless of machine.
+  CI gates on these (``--counters-only``).
+
+A scenario present in the old report but missing from the new one is a
+coverage regression and fails the gate too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .reporting import render_table
+
+__all__ = ["ComparisonResult", "MetricDelta", "compare_reports"]
+
+# Counter metrics where *more* is worse.  `facts_out` increasing means
+# the answer changed — flagged in both directions via exact mismatch.
+_COST_COUNTERS = ("firings", "probes", "iterations", "tuples_sent", "rounds")
+_EXACT_COUNTERS = ("facts_out",)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One (scenario, metric) comparison row."""
+
+    scenario: str
+    metric: str
+    old: float
+    new: float
+    delta_fraction: float
+    regressed: bool
+
+    @property
+    def status(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.delta_fraction < -0.005:
+            return "improved"
+        return "ok"
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing two bench reports.
+
+    Attributes:
+        deltas: one row per compared (scenario, metric).
+        regressions: human-readable description of every failure.
+        notes: non-fatal remarks (skipped wall compare, new scenarios).
+    """
+
+    deltas: List[MetricDelta] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        rows = [
+            (d.scenario, d.metric, _fmt(d.old), _fmt(d.new),
+             f"{d.delta_fraction:+.1%}", d.status)
+            for d in self.deltas
+        ]
+        parts = [render_table(
+            ("scenario", "metric", "old", "new", "delta", "status"), rows)]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        if self.regressions:
+            parts.append("")
+            parts.append(f"{len(self.regressions)} regression(s):")
+            for regression in self.regressions:
+                parts.append(f"  ! {regression}")
+        else:
+            parts.append("")
+            parts.append("no regressions")
+        return "\n".join(parts)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def _delta(old: float, new: float) -> float:
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old
+
+
+def compare_reports(old: Dict[str, object], new: Dict[str, object],
+                    threshold: float = 0.10,
+                    counters_only: bool = False,
+                    force_wall: bool = False) -> ComparisonResult:
+    """Compare two loaded bench reports.
+
+    Args:
+        old: the reference report (loaded ``BENCH_*.json`` dict).
+        new: the candidate report.
+        threshold: relative increase beyond which a cost metric is a
+            regression (0.10 = 10% worse).
+        counters_only: skip wall-clock comparison entirely (the CI
+            gate: counters are deterministic, clocks are not).
+        force_wall: compare wall-clock even across differing machine
+            fingerprints.
+    """
+    result = ComparisonResult()
+    old_records = {r["name"]: r for r in old.get("scenarios", ())}
+    new_records = {r["name"]: r for r in new.get("scenarios", ())}
+
+    compare_wall = not counters_only
+    if compare_wall and old.get("machine") != new.get("machine") \
+            and not force_wall:
+        result.notes.append(
+            "machine fingerprints differ — wall-clock not compared "
+            "(pass force_wall/--force-wall to override)")
+        compare_wall = False
+
+    for name in sorted(old_records):
+        old_record = old_records[name]
+        new_record = new_records.get(name)
+        if new_record is None:
+            result.regressions.append(
+                f"{name}: scenario missing from the new report")
+            continue
+
+        if compare_wall:
+            old_wall = float(old_record["wall_seconds"])
+            new_wall = float(new_record["wall_seconds"])
+            fraction = _delta(old_wall, new_wall)
+            regressed = fraction > threshold
+            result.deltas.append(MetricDelta(
+                scenario=name, metric="wall_seconds", old=old_wall,
+                new=new_wall, delta_fraction=fraction, regressed=regressed))
+            if regressed:
+                result.regressions.append(
+                    f"{name}: wall_seconds {old_wall:.4f} -> {new_wall:.4f} "
+                    f"({fraction:+.1%} > +{threshold:.0%})")
+
+        old_counters = old_record.get("counters", {})
+        new_counters = new_record.get("counters", {})
+        for metric in _COST_COUNTERS:
+            if metric not in old_counters or metric not in new_counters:
+                continue
+            old_value = float(old_counters[metric])
+            new_value = float(new_counters[metric])
+            fraction = _delta(old_value, new_value)
+            regressed = fraction > threshold
+            result.deltas.append(MetricDelta(
+                scenario=name, metric=metric, old=old_value, new=new_value,
+                delta_fraction=fraction, regressed=regressed))
+            if regressed:
+                result.regressions.append(
+                    f"{name}: {metric} {int(old_value)} -> {int(new_value)} "
+                    f"({fraction:+.1%} > +{threshold:.0%})")
+        for metric in _EXACT_COUNTERS:
+            if metric not in old_counters or metric not in new_counters:
+                continue
+            old_value = float(old_counters[metric])
+            new_value = float(new_counters[metric])
+            fraction = _delta(old_value, new_value)
+            regressed = old_value != new_value
+            result.deltas.append(MetricDelta(
+                scenario=name, metric=metric, old=old_value, new=new_value,
+                delta_fraction=fraction, regressed=regressed))
+            if regressed:
+                result.regressions.append(
+                    f"{name}: {metric} changed {int(old_value)} -> "
+                    f"{int(new_value)} (the answer itself differs)")
+
+    extra = sorted(set(new_records) - set(old_records))
+    if extra:
+        result.notes.append(
+            f"new scenarios not in the reference: {', '.join(extra)}")
+    return result

@@ -1,0 +1,362 @@
+"""Wall-clock performance measurement: the ``repro bench`` backend.
+
+This module turns the scenario matrix of :mod:`repro.bench.scenarios`
+into a schema-versioned, machine-readable performance baseline — the
+``BENCH_<n>.json`` trajectory at the repository root.  The measurement
+discipline (documented in ``docs/PERFORMANCE.md``):
+
+* **seeded inputs** — every scenario names a workload generator seed,
+  so counter metrics (firings, tuples sent, output facts) are exactly
+  reproducible and can be regression-gated in CI;
+* **warmup + best-of-N** — each scenario runs ``warmup`` unmeasured
+  times (index builds, allocator warmup, imports), then ``repeats``
+  measured times; ``wall_seconds`` is the minimum (least-noise
+  estimator for a deterministic computation);
+* **machine fingerprint** — every report embeds enough platform data
+  to tell whether two wall-clock numbers are comparable at all;
+* **before/after in one report** — engine scenarios are additionally
+  measured with the generic (unspecialized) join interpreter, so the
+  compiled kernel's speedup is recorded alongside the number it
+  produced (``baseline_wall_seconds`` / ``kernel_speedup``).
+
+Profiling (``repro bench profile``) wraps one scenario run in
+:mod:`cProfile` and pairs the hot-function list with a per-phase event
+breakdown from :class:`repro.obs.AggregateSink` — counters only, never
+raw event streams (the bench↔obs boundary).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import os
+import platform
+import pstats
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import evaluate, join_kernel_enabled, set_join_kernel
+from ..errors import ReproError
+from ..obs import AggregateSink, Tracer
+from .scenarios import (
+    PerfScenario,
+    build_parallel_program,
+    default_matrix,
+    find_scenario,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "load_report",
+    "machine_fingerprint",
+    "next_bench_path",
+    "profile_scenario",
+    "run_matrix",
+    "run_scenario",
+    "write_report",
+]
+
+BENCH_SCHEMA_VERSION = 1
+BENCH_FORMAT = "repro.bench.perf"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """Identify the machine a report was measured on.
+
+    Wall-clock numbers from reports with different fingerprints are not
+    comparable; counter metrics always are.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "join_kernel": join_kernel_enabled(),
+    }
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Process-wide peak resident set size, in KiB.
+
+    ``ru_maxrss`` is a monotone high-water mark for the whole process,
+    so per-scenario values are upper bounds that only ever grow within
+    one ``repro bench run`` invocation (documented in
+    docs/PERFORMANCE.md).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if platform.system() == "Darwin":  # pragma: no cover - reported in bytes
+        return usage // 1024
+    return usage
+
+
+def _facts_total(output, predicates) -> int:
+    return sum(len(output.relation(p)) for p in predicates)
+
+
+def _run_engine_once(scenario: PerfScenario, workload) -> Tuple[float, Dict]:
+    started = time.perf_counter()
+    result = evaluate(workload.program, workload.database,
+                      method=scenario.method or "seminaive")
+    wall = time.perf_counter() - started
+    counters = {
+        "firings": result.counters.total_firings(),
+        "probes": result.counters.probes,
+        "iterations": result.counters.iterations,
+        "facts_out": _facts_total(result.output,
+                                  workload.program.derived_predicates),
+    }
+    return wall, counters
+
+
+def _run_simulator_once(scenario: PerfScenario, workload,
+                        parallel_program) -> Tuple[float, Dict]:
+    from ..parallel.simulator import run_parallel
+
+    started = time.perf_counter()
+    result = run_parallel(parallel_program, workload.database)
+    wall = time.perf_counter() - started
+    metrics = result.metrics
+    counters = {
+        "firings": metrics.total_firings(),
+        "tuples_sent": metrics.total_sent(),
+        "rounds": metrics.rounds,
+        "facts_out": _facts_total(result.output, parallel_program.derived),
+    }
+    return wall, counters
+
+
+def _run_mp_once(scenario: PerfScenario, workload,
+                 parallel_program) -> Tuple[float, Dict]:
+    from ..parallel.mp import run_multiprocessing
+
+    started = time.perf_counter()
+    result = run_multiprocessing(parallel_program, workload.database)
+    wall = time.perf_counter() - started
+    metrics = result.metrics
+    counters = {
+        "firings": metrics.total_firings(),
+        "tuples_sent": metrics.total_sent(),
+        "facts_out": _facts_total(result.output, parallel_program.derived),
+    }
+    return wall, counters
+
+
+def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
+                 baseline: bool = True) -> Dict[str, object]:
+    """Measure one scenario; return its ``BENCH_*.json`` record.
+
+    Args:
+        scenario: what to run.
+        repeats: measured runs; ``wall_seconds`` is their minimum.
+        warmup: unmeasured runs executed first.
+        baseline: for engine scenarios, also measure the generic join
+            interpreter and record ``baseline_wall_seconds`` and
+            ``kernel_speedup``.
+    """
+    if repeats < 1:
+        raise ReproError(f"repeats must be >= 1, got {repeats}")
+    workload = scenario.build_workload()
+    if scenario.kind == "engine":
+        run_once = lambda: _run_engine_once(scenario, workload)
+    elif scenario.kind in ("simulator", "mp"):
+        parallel_program = build_parallel_program(
+            scenario, workload.program, workload.database)
+        runner = (_run_simulator_once if scenario.kind == "simulator"
+                  else _run_mp_once)
+        run_once = lambda: runner(scenario, workload, parallel_program)
+    else:
+        raise ReproError(f"unknown scenario kind {scenario.kind!r}")
+
+    for _ in range(warmup):
+        run_once()
+    walls: List[float] = []
+    counters: Dict[str, object] = {}
+    for _ in range(repeats):
+        wall, counters = run_once()
+        walls.append(wall)
+
+    record: Dict[str, object] = {
+        "name": scenario.name,
+        "kind": scenario.kind,
+        "workload": f"{scenario.workload}-{scenario.size}",
+        "seed": scenario.seed,
+        "method": scenario.method,
+        "scheme": scenario.scheme,
+        "processors": scenario.processors,
+        "repeats": repeats,
+        "warmup": warmup,
+        "wall_seconds": round(min(walls), 6),
+        "wall_seconds_all": [round(w, 6) for w in walls],
+        "counters": counters,
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+    if baseline and scenario.kind == "engine":
+        previous = set_join_kernel(False)
+        try:
+            baseline_walls = []
+            for _ in range(max(1, repeats)):
+                wall, base_counters = run_once()
+                baseline_walls.append(wall)
+        finally:
+            set_join_kernel(previous)
+        if base_counters != counters:
+            raise ReproError(
+                f"join kernel diverged from the generic interpreter on "
+                f"{scenario.name}: {counters} != {base_counters}")
+        base = min(baseline_walls)
+        record["baseline_wall_seconds"] = round(base, 6)
+        record["kernel_speedup"] = round(base / min(walls), 2)
+    return record
+
+
+def run_matrix(matrix: Optional[Sequence[PerfScenario]] = None,
+               repeats: int = 3, warmup: int = 1, baseline: bool = True,
+               only: Optional[Sequence[str]] = None,
+               progress=None) -> Dict[str, object]:
+    """Measure a matrix of scenarios; return the full report dict.
+
+    Args:
+        matrix: scenarios to run (default: :func:`default_matrix`).
+        repeats: measured runs per scenario.
+        warmup: unmeasured runs per scenario.
+        baseline: record the generic-interpreter baseline on engine
+            scenarios.
+        only: optional scenario-name substrings to filter the matrix.
+        progress: optional ``callable(str)`` for per-scenario progress.
+    """
+    scenarios = tuple(matrix if matrix is not None else default_matrix())
+    if only:
+        scenarios = tuple(s for s in scenarios
+                          if any(token in s.name for token in only))
+        if not scenarios:
+            raise ReproError(
+                f"no scenario matches any of {list(only)!r}")
+    records = []
+    for scenario in scenarios:
+        if progress is not None:
+            progress(f"running {scenario.name} ({scenario.describe()})")
+        records.append(run_scenario(scenario, repeats=repeats, warmup=warmup,
+                                    baseline=baseline))
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench_format": BENCH_FORMAT,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_fingerprint(),
+        "settings": {"repeats": repeats, "warmup": warmup,
+                     "baseline": baseline},
+        "scenarios": records,
+    }
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    """Serialise ``report`` to ``path`` as stable, diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    """Load and validate a ``BENCH_*.json`` report.
+
+    Raises:
+        ReproError: if the file is not a bench report or its schema
+            version is unknown.
+    """
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or report.get("bench_format") != BENCH_FORMAT:
+        raise ReproError(f"{path} is not a {BENCH_FORMAT} report")
+    version = report.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ReproError(
+            f"{path} has schema_version {version!r}; this build reads "
+            f"version {BENCH_SCHEMA_VERSION}")
+    return report
+
+
+def next_bench_path(directory: str = ".") -> str:
+    """Return the first unused ``BENCH_<n>.json`` path in ``directory``."""
+    number = 1
+    while os.path.exists(os.path.join(directory, f"BENCH_{number}.json")):
+        number += 1
+    return os.path.join(directory, f"BENCH_{number}.json")
+
+
+def _render_phase_breakdown(sink: AggregateSink) -> str:
+    """Render an AggregateSink's counters as a per-phase breakdown."""
+    lines = ["per-phase event counts (repro.obs aggregate):"]
+    snapshot = sink.as_dict()
+    by_kind = snapshot.get("by_kind", {})
+    for kind in sorted(by_kind):
+        lines.append(f"  {kind:24s} {by_kind[kind]}")
+    by_round = snapshot.get("by_round", {})
+    fired = {key: count for key, count in by_round.items()
+             if key.startswith("rule_fired@")}
+    if fired:
+        lines.append("firings per round:")
+        for key in sorted(fired, key=lambda k: int(k.rsplit("@", 1)[1])):
+            round_number = key.rsplit("@", 1)[1]
+            lines.append(f"  round {round_number:>4s}  {fired[key]}")
+    return "\n".join(lines)
+
+
+def profile_scenario(name: str, top: int = 20) -> str:
+    """Profile one scenario run; return the rendered report.
+
+    Combines cProfile's hot-function list (sorted by cumulative time)
+    with the per-phase counter breakdown of an
+    :class:`~repro.obs.AggregateSink` attached to the run.  For
+    ``kind="mp"`` scenarios only the coordinator process is profiled;
+    worker CPU time shows up in the phase breakdown, not the profile.
+    """
+    scenario = find_scenario(name)
+    workload = scenario.build_workload()
+    sink = AggregateSink()
+    tracer = Tracer(sink)
+
+    if scenario.kind == "engine":
+        def run():
+            evaluate(workload.program, workload.database,
+                     method=scenario.method or "seminaive", tracer=tracer)
+    else:
+        parallel_program = build_parallel_program(
+            scenario, workload.program, workload.database)
+        if scenario.kind == "simulator":
+            from ..parallel.simulator import run_parallel
+
+            def run():
+                run_parallel(parallel_program, workload.database,
+                             tracer=tracer)
+        else:
+            from ..parallel.mp import run_multiprocessing
+
+            def run():
+                run_multiprocessing(parallel_program, workload.database,
+                                    tracer=tracer)
+
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    run()
+    profiler.disable()
+    wall = time.perf_counter() - started
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    parts = [
+        f"profile of {scenario.name} ({scenario.describe()}) — "
+        f"{wall:.3f}s wall",
+        _render_phase_breakdown(sink),
+        f"top {top} functions by cumulative time:",
+        buffer.getvalue().rstrip(),
+    ]
+    tracer.close()
+    return "\n\n".join(parts)

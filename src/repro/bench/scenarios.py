@@ -1,0 +1,179 @@
+"""The fixed, seeded scenario matrix measured by ``repro bench``.
+
+A :class:`PerfScenario` names one measurable configuration: an
+executor (sequential engine, simulated cluster, or real
+multiprocessing), a seeded workload, and — for the parallel executors —
+a parallelisation scheme and processor count.  Scenario names are
+stable identifiers: they key the records inside ``BENCH_*.json`` files,
+so `repro bench compare` can match measurements across commits, and
+they are what ``repro bench profile <name>`` accepts.
+
+Two matrices are exported: :func:`default_matrix` (the full trajectory
+measured into ``BENCH_<n>.json`` at the repo root) and
+:func:`smoke_matrix` (a reduced matrix small enough for a CI job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..datalog.program import Program
+from ..errors import ReproError
+from ..facts.database import Database
+from ..parallel.plans import ParallelProgram
+from ..workloads.generator import Workload, make_workload
+
+__all__ = [
+    "PerfScenario",
+    "build_parallel_program",
+    "default_matrix",
+    "find_scenario",
+    "smoke_matrix",
+]
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One named, reproducible measurement configuration.
+
+    Attributes:
+        name: stable identifier (keys the ``BENCH_*.json`` records).
+        kind: ``"engine"`` (sequential), ``"simulator"`` or ``"mp"``.
+        workload: workload kind for :func:`~repro.workloads.make_workload`.
+        size: workload size parameter.
+        seed: workload RNG seed.
+        method: evaluation method for ``kind="engine"``.
+        scheme: parallelisation scheme for the parallel kinds.
+        processors: processor count for the parallel kinds.
+    """
+
+    name: str
+    kind: str
+    workload: str
+    size: int
+    seed: int = 0
+    method: Optional[str] = None
+    scheme: Optional[str] = None
+    processors: Optional[int] = None
+
+    def build_workload(self) -> Workload:
+        """Materialise the seeded workload."""
+        return make_workload(self.workload, self.size, seed=self.seed)
+
+    def describe(self) -> str:
+        """One-line summary for listings."""
+        if self.kind == "engine":
+            detail = f"method={self.method}"
+        else:
+            detail = f"scheme={self.scheme} n={self.processors}"
+        return (f"{self.kind:9s} {self.workload}-{self.size} "
+                f"seed={self.seed} {detail}")
+
+
+def build_parallel_program(scenario: PerfScenario, program: Program,
+                           database: Database) -> ParallelProgram:
+    """Rewrite ``program`` under the scenario's scheme."""
+    from ..parallel import (
+        example1_scheme,
+        example2_scheme,
+        example3_scheme,
+        rewrite_general,
+    )
+
+    processors = tuple(range(scenario.processors or 1))
+    scheme = scenario.scheme
+    if scheme == "example1":
+        return example1_scheme(program, processors)
+    if scheme == "example2":
+        return example2_scheme(program, processors, database)
+    if scheme == "example3":
+        return example3_scheme(program, processors)
+    if scheme == "general":
+        return rewrite_general(program, processors)
+    raise ReproError(f"unknown perf scenario scheme {scheme!r}")
+
+
+def _engine(name: str, workload: str, size: int, method: str,
+            seed: int = 0) -> PerfScenario:
+    return PerfScenario(name=name, kind="engine", workload=workload,
+                        size=size, seed=seed, method=method)
+
+
+def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
+         seed: int = 0) -> PerfScenario:
+    return PerfScenario(name=name, kind="simulator", workload=workload,
+                        size=size, seed=seed, scheme=scheme,
+                        processors=processors)
+
+
+def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
+        seed: int = 0) -> PerfScenario:
+    return PerfScenario(name=name, kind="mp", workload=workload, size=size,
+                        seed=seed, scheme=scheme, processors=processors)
+
+
+def default_matrix() -> Tuple[PerfScenario, ...]:
+    """The full measured trajectory: engine × workloads, simulator and
+    mp × schemes × 2–8 processors (16 scenarios)."""
+    return (
+        # Sequential engine: the join kernel's direct exposure.
+        _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
+        _engine("engine-seminaive-dag-150", "dag", 150, "seminaive"),
+        _engine("engine-seminaive-grid-144", "grid", 144, "seminaive"),
+        _engine("engine-seminaive-samegen-96", "same-generation", 96,
+                "seminaive"),
+        _engine("engine-seminaive-cycle-48", "cycle", 48, "seminaive"),
+        _engine("engine-naive-chain-96", "chain", 96, "naive"),
+        # Simulated cluster: every Section 4/7 scheme, scaling example3.
+        _sim("sim-example1-chain-128-n4", "chain", 128, "example1", 4),
+        _sim("sim-example2-tree-128-n4", "tree", 128, "example2", 4),
+        _sim("sim-example3-dag-150-n2", "dag", 150, "example3", 2),
+        _sim("sim-example3-dag-150-n4", "dag", 150, "example3", 4),
+        _sim("sim-example3-dag-150-n8", "dag", 150, "example3", 8),
+        _sim("sim-general-nldag-96-n4", "nonlinear-dag", 96, "general", 4),
+        _sim("sim-general-samegen-96-n2", "same-generation", 96, "general", 2),
+        # Real OS processes: spawn + queue + termination-detection cost.
+        _mp("mp-example3-dag-96-n2", "dag", 96, "example3", 2),
+        _mp("mp-example3-dag-96-n4", "dag", 96, "example3", 4),
+        _mp("mp-general-samegen-64-n2", "same-generation", 64, "general", 2),
+    )
+
+
+def smoke_matrix() -> Tuple[PerfScenario, ...]:
+    """The reduced CI matrix: one scenario per executor/scheme corner,
+    sized for seconds, not minutes."""
+    return (
+        _engine("engine-seminaive-chain-96", "chain", 96, "seminaive"),
+        _engine("engine-seminaive-dag-64", "dag", 64, "seminaive"),
+        _sim("sim-example2-tree-48-n2", "tree", 48, "example2", 2),
+        _sim("sim-example3-dag-64-n2", "dag", 64, "example3", 2),
+        _sim("sim-general-nldag-48-n2", "nonlinear-dag", 48, "general", 2),
+        _mp("mp-example3-chain-48-n2", "chain", 48, "example3", 2),
+    )
+
+
+_MATRICES = {"default": default_matrix, "smoke": smoke_matrix}
+
+
+def matrix_by_name(name: str) -> Tuple[PerfScenario, ...]:
+    """Return a named matrix (``"default"`` or ``"smoke"``)."""
+    try:
+        return _MATRICES[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario matrix {name!r}; "
+            f"known: {sorted(_MATRICES)}") from None
+
+
+def find_scenario(name: str,
+                  matrices: Sequence[str] = ("default", "smoke")
+                  ) -> PerfScenario:
+    """Look a scenario up by exact name across the named matrices."""
+    for matrix_name in matrices:
+        for scenario in matrix_by_name(matrix_name):
+            if scenario.name == name:
+                return scenario
+    known = sorted({s.name for m in matrices for s in matrix_by_name(m)})
+    raise ReproError(
+        f"unknown perf scenario {name!r}; known scenarios: {known}")

@@ -3,7 +3,7 @@
 from .counters import EvalCounters
 from .evaluator import EvaluationResult, evaluate
 from .naive import naive_evaluate
-from .plan import PlanStep, RulePlan
+from .plan import PlanStep, RulePlan, join_kernel_enabled, set_join_kernel
 from .planner import compile_plan, order_body
 from .seminaive import (
     DELTA_SUFFIX,
@@ -27,7 +27,9 @@ __all__ = [
     "compile_plan",
     "delta_variants",
     "evaluate",
+    "join_kernel_enabled",
     "naive_evaluate",
     "order_body",
     "seminaive_evaluate",
+    "set_join_kernel",
 ]

@@ -7,13 +7,31 @@ after the step (pushed as early as possible, mirroring the paper's
 discussion of pushing the discriminating selection into the join).
 
 Execution is a depth-first nested-loops join over hash indexes,
-yielding one head tuple per successful ground substitution.
+yielding one head tuple per successful ground substitution.  Two
+implementations share that contract:
+
+* the **compiled kernel** (default) — on first execution the plan is
+  specialized into per-step key extractors, per-position match checks
+  and a head template, all resolved at compile time, and run as a
+  single iterative backtracking loop.  The per-tuple
+  ``isinstance``/dict-dispatch work of the interpretive path is hoisted
+  out entirely; positions guaranteed equal by the index lookup are not
+  re-checked.
+* the **generic interpreter** — the original recursive reference
+  implementation, kept both as executable documentation and as the
+  baseline the performance harness (``repro bench``) measures the
+  kernel against.  Equivalence (identical fact sets, firing and probe
+  counts) is property-tested.
+
+:func:`set_join_kernel` switches the process-wide default;
+``RulePlan.execute(..., kernel=False)`` overrides it per call.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..datalog.atom import Atom
 from ..datalog.rule import Constraint, Rule
@@ -24,7 +42,27 @@ from ..facts.database import Database
 from ..facts.relation import Fact
 from .counters import EvalCounters
 
-__all__ = ["PlanStep", "RulePlan"]
+__all__ = ["PlanStep", "RulePlan", "join_kernel_enabled", "set_join_kernel"]
+
+_MISSING = object()
+
+# Process-wide default for which execution path `execute` takes.  The
+# environment variable exists so a whole run (tests, benchmarks) can be
+# forced onto the generic interpreter without touching code.
+_use_kernel = os.environ.get("REPRO_JOIN_KERNEL", "compiled") != "generic"
+
+
+def join_kernel_enabled() -> bool:
+    """Return True iff `execute` defaults to the compiled kernel."""
+    return _use_kernel
+
+
+def set_join_kernel(enabled: bool) -> bool:
+    """Set the process-wide default execution path; return the old one."""
+    global _use_kernel
+    previous = _use_kernel
+    _use_kernel = bool(enabled)
+    return previous
 
 
 @dataclass(frozen=True)
@@ -41,6 +79,143 @@ class PlanStep:
     atom: Atom
     key_positions: Tuple[int, ...]
     constraints: Tuple[Constraint, ...]
+
+
+class _StepKernel:
+    """The compiled form of one :class:`PlanStep`.
+
+    Every per-tuple decision the interpretive path makes dynamically
+    (``isinstance`` on terms, "is this variable bound yet") is resolved
+    here once, at compile time:
+
+    Attributes:
+        predicate: relation to probe.
+        key_positions: positions driving the index lookup (may be empty).
+        key_parts: ``(is_var, var_or_value)`` per key position.
+        const_key: precomputed key when every part is a constant.
+        const_checks: ``(position, value)`` equalities not already
+            guaranteed by the index lookup.
+        bound_checks: ``(position, variable)`` equalities against
+            earlier-step bindings not guaranteed by the lookup.
+        same_checks: ``(position, earlier_position)`` within-atom
+            repeated-variable equalities.
+        bind_specs: ``(position, variable)`` first occurrences to bind.
+        constraint_checks: callables ``check(binding) -> bool``.
+    """
+
+    __slots__ = ("predicate", "key_positions", "key_parts", "const_key",
+                 "const_checks", "bound_checks", "same_checks", "bind_specs",
+                 "constraint_checks")
+
+    def __init__(self, predicate: str, key_positions: Tuple[int, ...],
+                 key_parts: Tuple[Tuple[bool, object], ...],
+                 const_key: Optional[Tuple[object, ...]],
+                 const_checks: Tuple[Tuple[int, object], ...],
+                 bound_checks: Tuple[Tuple[int, Variable], ...],
+                 same_checks: Tuple[Tuple[int, int], ...],
+                 bind_specs: Tuple[Tuple[int, Variable], ...],
+                 constraint_checks: Tuple[Callable[[Dict[Variable, object]],
+                                                   bool], ...]) -> None:
+        self.predicate = predicate
+        self.key_positions = key_positions
+        self.key_parts = key_parts
+        self.const_key = const_key
+        self.const_checks = const_checks
+        self.bound_checks = bound_checks
+        self.same_checks = same_checks
+        self.bind_specs = bind_specs
+        self.constraint_checks = constraint_checks
+
+
+class _PlanKernel:
+    """A fully compiled plan: step kernels plus the head template."""
+
+    __slots__ = ("steps", "head_parts")
+
+    def __init__(self, steps: Tuple[_StepKernel, ...],
+                 head_parts: Tuple[Tuple[bool, object], ...]) -> None:
+        self.steps = steps
+        self.head_parts = head_parts
+
+
+def _compile_constraint_check(
+        constraint: Constraint) -> Callable[[Dict[Variable, object]], bool]:
+    """Compile a constraint into ``check(binding) -> bool``.
+
+    Constraints exposing ``satisfied_values`` (e.g.
+    :class:`~repro.parallel.constraints.HashConstraint`) are called on
+    the raw value binding; others fall back to the protocol's
+    :meth:`~repro.datalog.rule.Constraint.satisfied` on a boxed
+    :class:`~repro.datalog.substitution.Substitution` snapshot.
+    """
+    fast = getattr(constraint, "satisfied_values", None)
+    if fast is not None:
+        return fast
+    variables = tuple(constraint.variables)
+
+    def check(binding: Dict[Variable, object], _constraint=constraint,
+              _variables=variables) -> bool:
+        snapshot = Substitution(
+            {v: Constant(binding[v]) for v in _variables})
+        return _constraint.satisfied(snapshot)
+
+    return check
+
+
+def _compile_kernel(plan: "RulePlan") -> _PlanKernel:
+    """Specialize ``plan`` into a :class:`_PlanKernel`."""
+    bound_before: Set[Variable] = set()
+    steps: List[_StepKernel] = []
+    for step in plan.steps:
+        atom = step.atom
+        in_key = frozenset(step.key_positions)
+        use_lookup = bool(step.key_positions)
+        key_parts: List[Tuple[bool, object]] = []
+        for position in step.key_positions:
+            term = atom.terms[position]
+            if isinstance(term, Constant):
+                key_parts.append((False, term.value))
+            else:
+                key_parts.append((True, term))
+        const_key: Optional[Tuple[object, ...]] = None
+        if use_lookup and not any(is_var for is_var, _ in key_parts):
+            const_key = tuple(value for _, value in key_parts)
+
+        const_checks: List[Tuple[int, object]] = []
+        bound_checks: List[Tuple[int, Variable]] = []
+        same_checks: List[Tuple[int, int]] = []
+        bind_specs: List[Tuple[int, Variable]] = []
+        first_at: Dict[Variable, int] = {}
+        for position, term in enumerate(atom.terms):
+            guaranteed = use_lookup and position in in_key
+            if isinstance(term, Constant):
+                if not guaranteed:
+                    const_checks.append((position, term.value))
+            elif term in bound_before:
+                if not guaranteed:
+                    bound_checks.append((position, term))
+            elif term in first_at:
+                same_checks.append((position, first_at[term]))
+            else:
+                first_at[term] = position
+                bind_specs.append((position, term))
+        bound_before |= set(atom.variables())
+        steps.append(_StepKernel(
+            predicate=atom.predicate,
+            key_positions=tuple(step.key_positions),
+            key_parts=tuple(key_parts),
+            const_key=const_key,
+            const_checks=tuple(const_checks),
+            bound_checks=tuple(bound_checks),
+            same_checks=tuple(same_checks),
+            bind_specs=tuple(bind_specs),
+            constraint_checks=tuple(_compile_constraint_check(c)
+                                    for c in step.constraints),
+        ))
+    head_parts = tuple(
+        (False, term.value) if isinstance(term, Constant) else (True, term)
+        for term in plan.rule.head.terms)
+    return _PlanKernel(steps=tuple(steps), head_parts=head_parts)
 
 
 @dataclass(frozen=True)
@@ -60,16 +235,182 @@ class RulePlan:
     pre_constraints: Tuple[Constraint, ...]
 
     def execute(self, database: Database,
-                counters: Optional[EvalCounters] = None) -> Iterator[Fact]:
+                counters: Optional[EvalCounters] = None,
+                kernel: Optional[bool] = None) -> Iterator[Fact]:
         """Yield one head tuple per successful ground substitution.
 
         Args:
             database: must contain a relation for every body predicate.
             counters: optional counters updated with firings and probes.
+            kernel: force the compiled kernel (True) or the generic
+                interpreter (False); None uses the process default set
+                by :func:`set_join_kernel`.
 
         Raises:
             EvaluationError: if a body relation is missing.
         """
+        use_kernel = _use_kernel if kernel is None else kernel
+        if use_kernel:
+            return self._execute_compiled(database, counters)
+        return self._execute_generic(database, counters)
+
+    def _kernel_for(self) -> _PlanKernel:
+        """Return (building and caching on first use) the compiled kernel."""
+        kernel = self.__dict__.get("_kernel")
+        if kernel is None:
+            kernel = _compile_kernel(self)
+            object.__setattr__(self, "_kernel", kernel)
+        return kernel
+
+    def _execute_compiled(self, database: Database,
+                          counters: Optional[EvalCounters]) -> Iterator[Fact]:
+        """Iterative backtracking join over the compiled step kernels."""
+        empty_binding = Substitution.empty()
+        for constraint in self.pre_constraints:
+            if not constraint.satisfied(empty_binding):
+                return
+
+        kernel = self._kernel_for()
+        steps = kernel.steps
+        depth = len(steps)
+        head_parts = kernel.head_parts
+        label = self.label
+
+        sources: List[Tuple[Optional[object], object]] = []
+        for kstep in steps:
+            relation = database.get(kstep.predicate)
+            if relation is None:
+                raise EvaluationError(
+                    f"no relation for predicate {kstep.predicate!r} "
+                    f"needed by rule {self.label}")
+            if kstep.key_positions:
+                sources.append((relation.index_on(kstep.key_positions),
+                                relation))
+            else:
+                sources.append((None, relation))
+
+        binding: Dict[Variable, object] = {}
+        if depth == 0:
+            if counters is not None:
+                counters.record_firing(label)
+            yield tuple(binding[part] if is_var else part
+                        for is_var, part in head_parts)
+            return
+
+        def candidates(level: int) -> Iterator[Fact]:
+            kstep = steps[level]
+            index, relation = sources[level]
+            if counters is not None:
+                counters.record_probe()
+            if index is None:
+                return iter(relation.facts())
+            key = kstep.const_key
+            if key is None:
+                key = tuple(binding[part] if is_var else part
+                            for is_var, part in kstep.key_parts)
+            return iter(index.lookup(key))
+
+        def drain_last() -> Iterator[Fact]:
+            """Tight loop over the innermost step — the hottest path."""
+            kstep = steps[-1]
+            const_checks = kstep.const_checks
+            bound_checks = kstep.bound_checks
+            same_checks = kstep.same_checks
+            bind_specs = kstep.bind_specs
+            checks = kstep.constraint_checks
+            plain = not (const_checks or bound_checks or same_checks)
+            for fact in candidates(depth - 1):
+                if not plain:
+                    matches = True
+                    for position, value in const_checks:
+                        if fact[position] != value:
+                            matches = False
+                            break
+                    if matches:
+                        for position, variable in bound_checks:
+                            if fact[position] != binding[variable]:
+                                matches = False
+                                break
+                    if matches:
+                        for position, earlier in same_checks:
+                            if fact[position] != fact[earlier]:
+                                matches = False
+                                break
+                    if not matches:
+                        continue
+                for position, variable in bind_specs:
+                    binding[variable] = fact[position]
+                satisfied = True
+                for check in checks:
+                    if not check(binding):
+                        satisfied = False
+                        break
+                if satisfied:
+                    if counters is not None:
+                        counters.record_firing(label)
+                    yield tuple(binding[part] if is_var else part
+                                for is_var, part in head_parts)
+                for _position, variable in bind_specs:
+                    del binding[variable]
+
+        if depth == 1:
+            yield from drain_last()
+            return
+
+        # Levels 0..depth-2 run the backtracking dispatcher; the final
+        # level is always drained inline by `drain_last`.
+        iters: List[Iterator[Fact]] = [iter(())] * (depth - 1)
+        bound_flags = [False] * (depth - 1)
+        last_outer = depth - 2
+        level = 0
+        iters[0] = candidates(0)
+        while level >= 0:
+            kstep = steps[level]
+            if bound_flags[level]:
+                for _position, variable in kstep.bind_specs:
+                    del binding[variable]
+                bound_flags[level] = False
+            fact = next(iters[level], _MISSING)
+            if fact is _MISSING:
+                level -= 1
+                continue
+            matches = True
+            for position, value in kstep.const_checks:
+                if fact[position] != value:
+                    matches = False
+                    break
+            if matches:
+                for position, variable in kstep.bound_checks:
+                    if fact[position] != binding[variable]:
+                        matches = False
+                        break
+            if matches:
+                for position, earlier in kstep.same_checks:
+                    if fact[position] != fact[earlier]:
+                        matches = False
+                        break
+            if not matches:
+                continue
+            if kstep.bind_specs:
+                for position, variable in kstep.bind_specs:
+                    binding[variable] = fact[position]
+                bound_flags[level] = True
+            satisfied = True
+            for check in kstep.constraint_checks:
+                if not check(binding):
+                    satisfied = False
+                    break
+            if not satisfied:
+                continue
+            if level == last_outer:
+                yield from drain_last()
+                continue
+            level += 1
+            iters[level] = candidates(level)
+
+    def _execute_generic(self, database: Database,
+                         counters: Optional[EvalCounters]) -> Iterator[Fact]:
+        """The original recursive interpreter (reference implementation)."""
         empty_binding = Substitution.empty()
         for constraint in self.pre_constraints:
             if not constraint.satisfied(empty_binding):

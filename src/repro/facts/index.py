@@ -1,50 +1,88 @@
-"""Hash indexes over argument-position subsets of a relation."""
+"""Hash indexes over argument-position subsets of a relation.
+
+Buckets are insertion-ordered dicts keyed by fact, so membership tests,
+:meth:`HashIndex.discard` and bucket pruning are O(1) instead of the
+O(bucket) ``list.remove`` a list-backed bucket would need, and
+``len(index)`` is a maintained counter instead of an O(buckets) sum.
+Iteration over a bucket yields facts in insertion order, which keeps
+index scans deterministic for equal insertion sequences.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 __all__ = ["HashIndex"]
 
 Fact = Tuple[object, ...]
 _EMPTY: Tuple[Fact, ...] = ()
+_MISSING = object()
 
 
 class HashIndex:
     """Maps a key — the values at ``positions`` — to the facts holding it."""
 
-    __slots__ = ("positions", "_buckets")
+    __slots__ = ("positions", "_buckets", "_size")
 
     def __init__(self, positions: Sequence[int]) -> None:
         self.positions: Tuple[int, ...] = tuple(positions)
-        self._buckets: Dict[Tuple[object, ...], List[Fact]] = {}
+        self._buckets: Dict[Tuple[object, ...], Dict[Fact, None]] = {}
+        self._size = 0
 
     def key_of(self, fact: Fact) -> Tuple[object, ...]:
         """Extract the index key of ``fact``."""
         return tuple(fact[p] for p in self.positions)
 
     def add(self, fact: Fact) -> None:
-        """Index ``fact`` (caller guarantees it is not yet indexed)."""
-        self._buckets.setdefault(self.key_of(fact), []).append(fact)
+        """Index ``fact``; adding an already-indexed fact is a no-op."""
+        key = tuple(fact[p] for p in self.positions)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = {fact: None}
+        elif fact in bucket:
+            return
+        else:
+            bucket[fact] = None
+        self._size += 1
+
+    def add_many(self, facts: Iterable[Fact]) -> None:
+        """Index many facts at once (duplicates are no-ops, as in :meth:`add`).
+
+        The bulk path exists so per-round delta ingestion derives each
+        index key exactly once in a tight loop instead of paying one
+        :meth:`add` call per fact.
+        """
+        buckets = self._buckets
+        positions = self.positions
+        count = 0
+        for fact in facts:
+            key = tuple(fact[p] for p in positions)
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = {fact: None}
+            elif fact in bucket:
+                continue
+            else:
+                bucket[fact] = None
+            count += 1
+        self._size += count
 
     def discard(self, fact: Fact) -> None:
         """Remove ``fact`` from its bucket if present."""
-        bucket = self._buckets.get(self.key_of(fact))
-        if bucket is None:
+        key = tuple(fact[p] for p in self.positions)
+        bucket = self._buckets.get(key)
+        if bucket is None or bucket.pop(fact, _MISSING) is _MISSING:
             return
-        try:
-            bucket.remove(fact)
-        except ValueError:
-            return
+        self._size -= 1
         if not bucket:
-            del self._buckets[self.key_of(fact)]
+            del self._buckets[key]
 
     def lookup(self, key: Tuple[object, ...]) -> Iterable[Fact]:
         """Return the facts whose indexed positions equal ``key``."""
         return self._buckets.get(key, _EMPTY)
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return self._size
 
     def __repr__(self) -> str:
         return f"HashIndex(positions={self.positions}, buckets={len(self._buckets)})"

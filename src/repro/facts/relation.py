@@ -56,12 +56,28 @@ class Relation:
         return True
 
     def update(self, facts: Iterable[Sequence[object]]) -> int:
-        """Insert many facts; return the number of genuinely new ones."""
-        added = 0
+        """Insert many facts; return the number of genuinely new ones.
+
+        Bulk path: new facts are determined with one set difference and
+        handed to each index's :meth:`~repro.facts.index.HashIndex.add_many`,
+        so index keys are derived once per fact instead of once per
+        fact per :meth:`add` call.
+        """
+        arity = self.arity
+        incoming: Set[Fact] = set()
         for fact in facts:
-            if self.add(fact):
-                added += 1
-        return added
+            tup = tuple(fact)
+            if len(tup) != arity:
+                raise ValueError(
+                    f"relation {self.name}/{self.arity} cannot store {tup!r}")
+            incoming.add(tup)
+        fresh = incoming - self._facts
+        if not fresh:
+            return 0
+        self._facts |= fresh
+        for index in self._indexes.values():
+            index.add_many(fresh)
+        return len(fresh)
 
     def discard(self, fact: Sequence[object]) -> bool:
         """Remove ``fact`` if present; return True iff it was present."""

@@ -10,7 +10,7 @@ effective parallelism (Section 3).
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence, Tuple
+from typing import Hashable, Mapping, Sequence, Tuple
 
 from ..datalog.substitution import Substitution
 from ..datalog.term import Constant, Variable
@@ -62,6 +62,19 @@ class HashConstraint:
             values.append(term.value)
         try:
             return self.discriminator(tuple(values)) == self.target
+        except RoutingError:
+            return False
+
+    def satisfied_values(self, binding: Mapping[Variable, object]) -> bool:
+        """Fast path for the engine's compiled join kernel.
+
+        ``binding`` maps variables directly to Python values (no
+        :class:`~repro.datalog.term.Constant` boxing); the kernel
+        guarantees every variable of :attr:`sequence` is bound.
+        """
+        try:
+            return (self.discriminator(
+                tuple(binding[v] for v in self.sequence)) == self.target)
         except RoutingError:
             return False
 

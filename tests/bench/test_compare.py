@@ -1,0 +1,131 @@
+"""Tests for the bench regression gate (`repro.bench.compare`)."""
+
+import copy
+
+from repro.bench import compare_reports
+
+
+def _report(machine="m1", **scenario_overrides):
+    scenario = {
+        "name": "engine-seminaive-dag-64",
+        "kind": "engine",
+        "wall_seconds": 0.010,
+        "counters": {
+            "firings": 100,
+            "probes": 200,
+            "iterations": 400,
+            "facts_out": 50,
+        },
+    }
+    scenario.update(scenario_overrides)
+    return {
+        "bench_format": "repro.bench.perf",
+        "schema_version": 1,
+        "machine": {"fingerprint": machine},
+        "scenarios": [scenario],
+    }
+
+
+class TestCounterGate:
+    def test_identical_reports_pass(self):
+        old = _report()
+        result = compare_reports(old, copy.deepcopy(old))
+        assert result.ok
+        assert "no regressions" in result.render()
+
+    def test_counter_regression_beyond_threshold_fails(self):
+        old = _report()
+        new = _report()
+        new["scenarios"][0]["counters"]["firings"] = 150  # +50%
+        result = compare_reports(old, new, threshold=0.25)
+        assert not result.ok
+        assert any("firings" in r for r in result.regressions)
+        assert "REGRESSED" in result.render()
+
+    def test_counter_increase_within_threshold_passes(self):
+        old = _report()
+        new = _report()
+        new["scenarios"][0]["counters"]["probes"] = 210  # +5%
+        result = compare_reports(old, new, threshold=0.10)
+        assert result.ok
+
+    def test_counter_improvement_is_not_a_regression(self):
+        old = _report()
+        new = _report()
+        new["scenarios"][0]["counters"]["probes"] = 100  # -50%
+        result = compare_reports(old, new)
+        assert result.ok
+        assert any(d.status == "improved" for d in result.deltas)
+
+    def test_facts_out_any_change_fails(self):
+        for changed in (49, 51):
+            old = _report()
+            new = _report()
+            new["scenarios"][0]["counters"]["facts_out"] = changed
+            result = compare_reports(old, new, threshold=0.50)
+            assert not result.ok
+            assert any("answer itself differs" in r
+                       for r in result.regressions)
+
+
+class TestWallGate:
+    def test_wall_regression_fails_on_same_machine(self):
+        old = _report()
+        new = _report()
+        new["scenarios"][0]["wall_seconds"] = 0.020
+        result = compare_reports(old, new, threshold=0.10)
+        assert not result.ok
+        assert any("wall_seconds" in r for r in result.regressions)
+
+    def test_wall_skipped_across_machines(self):
+        old = _report(machine="m1")
+        new = _report(machine="m2")
+        new["scenarios"][0]["wall_seconds"] = 0.500
+        result = compare_reports(old, new)
+        assert result.ok
+        assert any("fingerprints differ" in n for n in result.notes)
+        assert not any(d.metric == "wall_seconds" for d in result.deltas)
+
+    def test_force_wall_compares_across_machines(self):
+        old = _report(machine="m1")
+        new = _report(machine="m2")
+        new["scenarios"][0]["wall_seconds"] = 0.500
+        result = compare_reports(old, new, force_wall=True)
+        assert not result.ok
+
+    def test_counters_only_ignores_wall(self):
+        old = _report()
+        new = _report()
+        new["scenarios"][0]["wall_seconds"] = 9.9
+        result = compare_reports(old, new, counters_only=True)
+        assert result.ok
+        assert not any(d.metric == "wall_seconds" for d in result.deltas)
+
+
+class TestCoverage:
+    def test_missing_scenario_is_a_regression(self):
+        old = _report()
+        new = _report()
+        new["scenarios"] = []
+        result = compare_reports(old, new)
+        assert not result.ok
+        assert any("missing from the new report" in r
+                   for r in result.regressions)
+
+    def test_extra_scenario_is_only_a_note(self):
+        old = _report()
+        new = _report()
+        new["scenarios"].append(
+            {"name": "extra", "kind": "engine", "wall_seconds": 0.1,
+             "counters": {"firings": 1, "facts_out": 1}})
+        result = compare_reports(old, new)
+        assert result.ok
+        assert any("extra" in n for n in result.notes)
+
+    def test_zero_to_nonzero_counter_is_infinite_regression(self):
+        old = _report()
+        old["scenarios"][0]["counters"]["rounds"] = 0
+        new = _report()
+        new["scenarios"][0]["counters"]["rounds"] = 3
+        result = compare_reports(old, new)
+        assert not result.ok

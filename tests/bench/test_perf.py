@@ -1,0 +1,131 @@
+"""Tests for the performance baseline subsystem (`repro.bench.perf`)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    default_matrix,
+    find_scenario,
+    load_report,
+    machine_fingerprint,
+    matrix_by_name,
+    next_bench_path,
+    profile_scenario,
+    run_matrix,
+    run_scenario,
+    smoke_matrix,
+    write_report,
+)
+from repro.errors import ReproError
+
+TINY = "engine-seminaive-dag-64"  # smoke-matrix scenario, runs in ~10 ms
+
+
+class TestScenarioMatrix:
+    def test_default_matrix_covers_all_executors(self):
+        matrix = default_matrix()
+        assert len(matrix) >= 12
+        kinds = {scenario.kind for scenario in matrix}
+        assert kinds == {"engine", "simulator", "mp"}
+        schemes = {scenario.scheme for scenario in matrix
+                   if scenario.scheme is not None}
+        assert {"example1", "example2", "example3", "general"} <= schemes
+        processors = {scenario.processors for scenario in matrix
+                      if scenario.processors is not None}
+        assert {2, 4, 8} <= processors
+
+    def test_names_unique_across_matrices(self):
+        names = [s.name for s in default_matrix()] + [
+            s.name for s in smoke_matrix()]
+        assert len(names) == len(set(names))
+
+    def test_find_scenario(self):
+        scenario = find_scenario(TINY)
+        assert scenario.kind == "engine"
+        with pytest.raises(ReproError, match="unknown perf scenario"):
+            find_scenario("no-such-scenario")
+        with pytest.raises(ReproError, match="unknown scenario matrix"):
+            matrix_by_name("nope")
+
+
+class TestRunScenario:
+    def test_record_shape(self):
+        record = run_scenario(find_scenario(TINY), repeats=2, warmup=0)
+        assert record["name"] == TINY
+        assert record["wall_seconds"] == min(record["wall_seconds_all"])
+        assert len(record["wall_seconds_all"]) == 2
+        counters = record["counters"]
+        assert counters["firings"] > 0
+        assert counters["probes"] > 0
+        assert counters["facts_out"] > 0
+        # engine scenarios carry the before/after kernel measurement
+        assert record["baseline_wall_seconds"] > 0
+        assert record["kernel_speedup"] > 0
+
+    def test_counters_deterministic_across_runs(self):
+        first = run_scenario(find_scenario(TINY), repeats=1, warmup=0,
+                             baseline=False)
+        second = run_scenario(find_scenario(TINY), repeats=1, warmup=0,
+                              baseline=False)
+        assert first["counters"] == second["counters"]
+
+    def test_simulator_scenario_counters(self):
+        record = run_scenario(find_scenario("sim-example3-dag-64-n2"),
+                              repeats=1, warmup=0)
+        assert record["counters"]["tuples_sent"] > 0
+        assert record["counters"]["rounds"] > 0
+        assert "baseline_wall_seconds" not in record
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ReproError, match="repeats"):
+            run_scenario(find_scenario(TINY), repeats=0)
+
+
+class TestReportRoundTrip:
+    def test_write_load_round_trip(self, tmp_path):
+        report = run_matrix([find_scenario(TINY)], repeats=1, warmup=0,
+                            baseline=False)
+        path = str(tmp_path / "BENCH_test.json")
+        write_report(report, path)
+        loaded = load_report(path)
+        assert loaded == json.loads(json.dumps(report))
+        assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+        assert loaded["machine"] == machine_fingerprint()
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ReproError, match="not a repro.bench.perf"):
+            load_report(str(path))
+
+    def test_load_rejects_unknown_schema_version(self, tmp_path):
+        path = tmp_path / "BENCH_future.json"
+        path.write_text(json.dumps(
+            {"bench_format": "repro.bench.perf", "schema_version": 999}))
+        with pytest.raises(ReproError, match="schema_version"):
+            load_report(str(path))
+
+    def test_next_bench_path_increments(self, tmp_path):
+        root = str(tmp_path)
+        first = next_bench_path(root)
+        assert first.endswith("BENCH_1.json")
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        assert next_bench_path(root).endswith("BENCH_2.json")
+
+    def test_only_filter(self):
+        report = run_matrix(smoke_matrix(), repeats=1, warmup=0,
+                            baseline=False, only=["engine-seminaive-dag"])
+        names = [r["name"] for r in report["scenarios"]]
+        assert names == ["engine-seminaive-dag-64"]
+        with pytest.raises(ReproError, match="no scenario matches"):
+            run_matrix(smoke_matrix(), only=["zzz"])
+
+
+class TestProfile:
+    def test_profile_renders_phases_and_hot_functions(self):
+        text = profile_scenario(TINY, top=5)
+        assert "per-phase event counts" in text
+        assert "rule_fired" in text
+        assert "cumulative time" in text

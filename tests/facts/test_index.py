@@ -41,3 +41,42 @@ class TestHashIndex:
         for value in range(5):
             index.add((value % 2, value))
         assert len(index) == 5
+
+    def test_add_is_idempotent(self):
+        index = HashIndex((0,))
+        index.add((1, "a"))
+        index.add((1, "a"))
+        assert len(index) == 1
+        assert list(index.lookup((1,))) == [(1, "a")]
+
+    def test_add_many_matches_repeated_add(self):
+        bulk = HashIndex((1,))
+        single = HashIndex((1,))
+        facts = [(i, i % 3) for i in range(20)] + [(0, 0)]
+        bulk.add_many(facts)
+        for fact in facts:
+            single.add(fact)
+        assert len(bulk) == len(single) == 20
+        for key in range(3):
+            assert sorted(bulk.lookup((key,))) == sorted(
+                single.lookup((key,)))
+
+    def test_lookup_preserves_insertion_order(self):
+        index = HashIndex((0,))
+        facts = [(1, chr(ord("a") + i)) for i in range(8)]
+        for fact in facts:
+            index.add(fact)
+        assert list(index.lookup((1,))) == facts
+        index.discard(facts[3])
+        expected = facts[:3] + facts[4:]
+        assert list(index.lookup((1,))) == expected
+
+    def test_len_tracks_interleaved_add_discard(self):
+        index = HashIndex((0,))
+        for value in range(100):
+            index.add((value % 5, value))
+        for value in range(0, 100, 2):
+            index.discard((value % 5, value))
+        assert len(index) == 50
+        index.discard((17, "never added"))
+        assert len(index) == 50
