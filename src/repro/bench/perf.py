@@ -126,6 +126,8 @@ def _run_simulator_once(scenario: PerfScenario, workload,
         "firings": metrics.total_firings(),
         "tuples_sent": metrics.total_sent(),
         "rounds": metrics.rounds,
+        "channel_messages": metrics.total_channel_messages(),
+        "channel_bytes": metrics.total_channel_bytes(),
         "facts_out": _facts_total(result.output, parallel_program.derived),
     }
     return wall, counters
@@ -142,6 +144,11 @@ def _run_mp_once(scenario: PerfScenario, workload,
     counters = {
         "firings": metrics.total_firings(),
         "tuples_sent": metrics.total_sent(),
+        # Coalesced data messages and the deterministic size model;
+        # message counts are timing-dependent for mp (burst boundaries
+        # move), so compare gates them with a threshold, not exactly.
+        "channel_messages": metrics.total_channel_messages(),
+        "channel_bytes": metrics.total_channel_bytes(),
         "facts_out": _facts_total(result.output, parallel_program.derived),
     }
     return wall, counters

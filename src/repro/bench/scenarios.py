@@ -115,7 +115,7 @@ def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
 
 def default_matrix() -> Tuple[PerfScenario, ...]:
     """The full measured trajectory: engine × workloads, simulator and
-    mp × schemes × 2–8 processors (16 scenarios)."""
+    mp × schemes × 2–8 processors (18 scenarios)."""
     return (
         # Sequential engine: the join kernel's direct exposure.
         _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
@@ -137,6 +137,10 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
         _mp("mp-example3-dag-96-n2", "dag", 96, "example3", 2),
         _mp("mp-example3-dag-96-n4", "dag", 96, "example3", 4),
         _mp("mp-general-samegen-64-n2", "same-generation", 64, "general", 2),
+        # Broadcast-heavy mp: example2 sends every derived tuple to every
+        # peer — the scenarios most exposed to the batched send path.
+        _mp("mp-example2-tree-64-n2", "tree", 64, "example2", 2),
+        _mp("mp-example2-tree-64-n4", "tree", 64, "example2", 4),
     )
 
 

@@ -121,13 +121,19 @@ class TraceReport:
                 self.rule_firings[str(event.data.get("rule", "?"))] += 1
                 seen_procs.append(proc)
             elif event.kind == TUPLE_SENT:
-                self.sent[(proc, str(event.data.get("dst", "?")))] += 1
-                self.sent_by_round.setdefault(round_, Counter())[proc] += 1
+                # Batched emitters collapse N tuples into one counted
+                # event; weighting by the count keeps the report equal
+                # to the live per-tuple accounting.
+                count = int(event.data.get("count", 1))  # type: ignore[call-overload]
+                self.sent[(proc, str(event.data.get("dst", "?")))] += count
+                self.sent_by_round.setdefault(round_, Counter())[proc] += count
             elif event.kind == TUPLE_RECEIVED:
-                self.received[proc] += 1
-                self.received_by_round.setdefault(round_, Counter())[proc] += 1
+                count = int(event.data.get("count", 1))  # type: ignore[call-overload]
+                self.received[proc] += count
+                self.received_by_round.setdefault(
+                    round_, Counter())[proc] += count
             elif event.kind == TUPLE_DROPPED:
-                self.dropped[proc] += 1
+                self.dropped[proc] += int(event.data.get("count", 1))  # type: ignore[call-overload]
             elif event.kind == ROUND_END:
                 self.round_loads[round_] = (
                     event.data.get("work", {}),    # type: ignore[arg-type]

@@ -19,7 +19,13 @@ import json
 from collections import Counter
 from typing import IO, Dict, Iterator, List, Optional, Tuple, Union
 
-from .events import TraceEvent
+from .events import TUPLE_DROPPED, TUPLE_RECEIVED, TUPLE_SENT, TraceEvent
+
+# Event kinds whose optional ``count`` payload means "this one event
+# stands for N tuples" (batched emitters).  Only tuple-flow kinds are
+# weighted: REPLAY also carries a count but has always meant one event
+# per replay burst, and its count is consumed by the report layer.
+_COUNTED_KINDS = frozenset((TUPLE_SENT, TUPLE_RECEIVED, TUPLE_DROPPED))
 
 __all__ = [
     "AggregateSink",
@@ -141,11 +147,16 @@ class AggregateSink(TraceSink):
         self.last_ts: Optional[float] = None
 
     def emit(self, event: TraceEvent) -> None:
-        self.by_kind[event.kind] += 1
+        weight = 1
+        if event.kind in _COUNTED_KINDS:
+            count = event.data.get("count")
+            if isinstance(count, int) and count > 0:
+                weight = count
+        self.by_kind[event.kind] += weight
         if event.proc is not None:
-            self.by_proc[(event.kind, event.proc)] += 1
+            self.by_proc[(event.kind, event.proc)] += weight
         if event.round is not None:
-            self.by_round[(event.kind, event.round)] += 1
+            self.by_round[(event.kind, event.round)] += weight
         if event.ts is not None:
             if self.first_ts is None:
                 self.first_ts = event.ts

@@ -113,17 +113,35 @@ class Tracer:
         else:
             self.emit(RULE_FIRED, proc=proc, rule=rule, fact=list(fact))
 
-    def tuple_sent(self, proc: str, dst: str, pred: str) -> None:
-        """A tuple was put on the remote channel ``proc -> dst``."""
-        self.emit(TUPLE_SENT, proc=proc, dst=dst, pred=pred)
+    def tuple_sent(self, proc: str, dst: str, pred: str,
+                   count: int = 1) -> None:
+        """``count`` tuples were put on the remote channel ``proc -> dst``.
 
-    def tuple_received(self, proc: str, src: str, pred: str) -> None:
-        """A tuple was taken off the remote channel ``src -> proc``."""
-        self.emit(TUPLE_RECEIVED, proc=proc, src=src, pred=pred)
+        Batched call sites pass ``count > 1`` instead of looping; the
+        event then carries a ``count`` payload and reports/aggregates
+        weight by it.  ``count == 1`` emits the historical payload
+        unchanged, so single-tuple streams stay byte-identical.
+        """
+        if count == 1:
+            self.emit(TUPLE_SENT, proc=proc, dst=dst, pred=pred)
+        else:
+            self.emit(TUPLE_SENT, proc=proc, dst=dst, pred=pred, count=count)
 
-    def tuple_dropped(self, proc: str, pred: str) -> None:
-        """A received tuple was discarded as a duplicate."""
-        self.emit(TUPLE_DROPPED, proc=proc, pred=pred)
+    def tuple_received(self, proc: str, src: str, pred: str,
+                       count: int = 1) -> None:
+        """``count`` tuples were taken off the channel ``src -> proc``."""
+        if count == 1:
+            self.emit(TUPLE_RECEIVED, proc=proc, src=src, pred=pred)
+        else:
+            self.emit(TUPLE_RECEIVED, proc=proc, src=src, pred=pred,
+                      count=count)
+
+    def tuple_dropped(self, proc: str, pred: str, count: int = 1) -> None:
+        """``count`` received tuples were discarded as duplicates."""
+        if count == 1:
+            self.emit(TUPLE_DROPPED, proc=proc, pred=pred)
+        else:
+            self.emit(TUPLE_DROPPED, proc=proc, pred=pred, count=count)
 
     def probe(self, proc: Optional[str] = None, **data: object) -> None:
         """A termination-detection control message (token hop / wave)."""

@@ -28,7 +28,14 @@ from .plans import FragmentSpec, ParallelProgram, ProcessorProgram
 from .processor import ProcessorRuntime
 from .rewrite_general import RuleSpec, auto_specs, rewrite_general
 from .rewrite_linear import rewrite_linear_family, rewrite_linear_sirup
-from .routing import BROADCAST, Route, route_positions
+from .routing import (
+    BROADCAST,
+    Route,
+    RouterTable,
+    route_kernel_enabled,
+    route_positions,
+    set_route_kernel,
+)
 from .schemes import (
     example1_scheme,
     example2_scheme,
@@ -62,6 +69,7 @@ __all__ = [
     "ProcessorProgram",
     "ProcessorRuntime",
     "Route",
+    "RouterTable",
     "RuleSpec",
     "SimulatedCluster",
     "TupleDiscriminator",
@@ -79,8 +87,10 @@ __all__ = [
     "rewrite_general",
     "rewrite_linear_family",
     "rewrite_linear_sirup",
+    "route_kernel_enabled",
     "route_positions",
     "run_parallel",
+    "set_route_kernel",
     "stable_hash",
     "tradeoff_scheme",
     "wolfson_scheme",

@@ -15,10 +15,53 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-__all__ = ["CostModel", "ParallelMetrics"]
+__all__ = [
+    "CostModel",
+    "ParallelMetrics",
+    "approx_batch_bytes",
+    "approx_fact_bytes",
+]
 
 ProcessorId = Hashable
 Channel = Tuple[ProcessorId, ProcessorId]
+
+# Deterministic size model for channel accounting.  The point is not to
+# predict pickle output exactly but to weight messages by payload in a
+# way that is stable across platforms and Python versions, so the bench
+# harness can compare ``channel_bytes`` between reports.  Constants
+# approximate CPython object sizes.
+MESSAGE_OVERHEAD_BYTES = 96   # envelope: tag, sender id, epoch, list
+BATCH_OVERHEAD_BYTES = 48     # per (predicate, facts) group in a message
+_TUPLE_OVERHEAD_BYTES = 56
+_VALUE_BYTES = {int: 28, float: 24, bool: 28, type(None): 16}
+
+
+def approx_fact_bytes(fact: Tuple[object, ...]) -> int:
+    """Deterministic approximate in-memory size of one fact tuple."""
+    total = _TUPLE_OVERHEAD_BYTES + 8 * len(fact)
+    for value in fact:
+        if isinstance(value, str):
+            total += 49 + len(value)
+        elif isinstance(value, (bytes, bytearray)):
+            total += 33 + len(value)
+        else:
+            total += _VALUE_BYTES.get(type(value), 48)
+    return total
+
+
+def approx_batch_bytes(pairs) -> int:
+    """Approximate wire size of one DATA message.
+
+    ``pairs`` is the coalesced payload ``[(predicate, facts), ...]``;
+    the model charges one message envelope, one group overhead per
+    predicate and :func:`approx_fact_bytes` per tuple.
+    """
+    total = MESSAGE_OVERHEAD_BYTES
+    for predicate, facts in pairs:
+        total += BATCH_OVERHEAD_BYTES + len(predicate)
+        for fact in facts:
+            total += approx_fact_bytes(fact)
+    return total
 
 
 @dataclass(frozen=True)
@@ -51,6 +94,8 @@ class ParallelMetrics:
     firings: Dict[ProcessorId, int] = field(default_factory=dict)
     probes: Dict[ProcessorId, int] = field(default_factory=dict)
     sent: Counter = field(default_factory=Counter)            # (i, j) -> tuples, i != j
+    channel_messages: Counter = field(default_factory=Counter)  # (i, j) -> DATA messages
+    channel_bytes: Counter = field(default_factory=Counter)     # (i, j) -> approx bytes
     self_delivered: Counter = field(default_factory=Counter)  # i -> tuples
     received: Counter = field(default_factory=Counter)        # i -> tuples accepted
     duplicates_dropped: Counter = field(default_factory=Counter)
@@ -82,6 +127,18 @@ class ParallelMetrics:
     def total_self_delivered(self) -> int:
         """Tuples a processor routed to itself (free of communication)."""
         return sum(self.self_delivered.values())
+
+    def total_channel_messages(self) -> int:
+        """DATA messages (coalesced batches) put on remote channels.
+
+        ``total_sent() / total_channel_messages()`` is the mean batch
+        size — the quantity send coalescing exists to raise.
+        """
+        return sum(self.channel_messages.values())
+
+    def total_channel_bytes(self) -> int:
+        """Approximate bytes crossing channels (see module size model)."""
+        return sum(self.channel_bytes.values())
 
     def used_channels(self) -> Set[Channel]:
         """The remote channels that carried at least one tuple."""
@@ -162,6 +219,8 @@ class ParallelMetrics:
             "firings": self.total_firings(),
             "work": self.total_work(),
             "sent": self.total_sent(),
+            "channel_messages": self.total_channel_messages(),
+            "channel_bytes": self.total_channel_bytes(),
             "self_delivered": self.total_self_delivered(),
             "broadcasts": self.broadcast_tuples,
             "dup_dropped": sum(self.duplicates_dropped.values()),

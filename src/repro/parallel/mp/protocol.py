@@ -4,11 +4,14 @@ Messages are plain picklable tuples; the first element is a tag.
 
 Data plane (worker → worker):
 
-* ``("data", sender, predicate, facts, epoch)`` — tuples on a channel
-  (the paper's ``t_ij`` predicates).  ``epoch`` is the *recovery epoch*
-  the sender was in when it sent (see below); receivers always ingest
-  the facts (monotonicity makes stale deliveries harmless) but count
-  them toward quiescence only when the epochs match.
+* ``("data", sender, pairs, epoch)`` — tuples on a channel (the
+  paper's ``t_ij`` predicates), coalesced: ``pairs`` is a list of
+  ``(predicate, facts)`` groups, so one message (one queue put, one
+  pickle) can carry a whole step burst's output for the peer across
+  several predicates.  ``epoch`` is the *recovery epoch* the sender was
+  in when it *flushed* (see below); receivers always ingest the facts
+  (monotonicity makes stale deliveries harmless) but count them toward
+  quiescence only when the epochs match.
 
 Control plane (coordinator ↔ worker):
 
@@ -49,7 +52,14 @@ are idle, because:
    enqueue time) and one ``received`` at the receiver (at dequeue
    time), so ``Σ sent − Σ received`` equals the number of in-flight
    tuples — *provided both ends count in the same epoch*, which the
-   epoch stamp guarantees;
+   epoch stamp guarantees.  Send coalescing does not weaken this:
+   tuples sitting in a worker's outbound buffer are counted by
+   *neither* end, but every buffer is flushed (and counted) before the
+   worker acks a probe, so at every snapshot the coordinator compares,
+   "in flight" still means exactly "enqueued and not yet dequeued".
+   Buffered tuples that straddle a ``reset`` are stamped and counted in
+   the epoch at flush time, symmetric with the receiver's
+   dequeue-time epoch check;
 2. a worker with staged-but-unprocessed input has already bumped
    ``activity`` for it, and processing staged input either derives
    nothing new (then the worker is genuinely idle) or emits tuples,
@@ -70,7 +80,7 @@ or newly derived tuple is counted symmetrically in the new epoch.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Tuple
 
 __all__ = [
     "DATA",
@@ -83,7 +93,21 @@ __all__ = [
     "RESET",
     "REPLAY",
     "WorkerStats",
+    "typed_sort_key",
 ]
+
+
+def typed_sort_key(fact: Tuple[object, ...]) -> Tuple[Tuple[str, object], ...]:
+    """Deterministic total order over fact tuples with mixed-type values.
+
+    Values are ordered by type name first, then natively within a type.
+    This replaces ``key=repr``, which was both slow (a string render per
+    comparison key) and ordering-fragile: ``repr`` interleaves types
+    lexicographically (``repr(10) < repr(9)``, quoted strings sorting
+    among digits), so pooled output order depended on value spellings
+    rather than values.
+    """
+    return tuple((type(value).__name__, value) for value in fact)
 
 DATA = "data"
 PROBE = "probe"
@@ -109,26 +133,43 @@ class WorkerStats:
         iterations: local semi-naive iterations.
         sent_by_target: per-peer count of tuples actually put on the
             peer's queue (replays included, dropped-by-fault excluded).
+        messages_by_target: per-peer count of coalesced ``data``
+            messages carrying those tuples (each = one queue put and
+            one pickle); ``total_sent() / total_messages()`` is the
+            achieved batching factor.
+        bytes_by_target: per-peer approximate payload bytes (the
+            deterministic size model of
+            :func:`repro.parallel.metrics.approx_batch_bytes`).
         received: data tuples taken off the inbox.
         duplicates_dropped: received tuples discarded as duplicates.
         self_delivered: tuples routed to the worker itself (no queue).
         replayed: tuples re-sent while serving ``replay`` requests.
+        sent_log_facts: total facts held in the deduplicated per-peer
+            replay logs at exit (the bounded-memory satellite metric).
     """
 
     __slots__ = ("firings", "probes", "iterations", "sent_by_target",
-                 "received", "duplicates_dropped", "self_delivered",
-                 "replayed")
+                 "messages_by_target", "bytes_by_target", "received",
+                 "duplicates_dropped", "self_delivered", "replayed",
+                 "sent_log_facts")
 
     def __init__(self) -> None:
         self.firings: int = 0
         self.probes: int = 0
         self.iterations: int = 0
         self.sent_by_target: Dict[Hashable, int] = {}
+        self.messages_by_target: Dict[Hashable, int] = {}
+        self.bytes_by_target: Dict[Hashable, int] = {}
         self.received: int = 0
         self.duplicates_dropped: int = 0
         self.self_delivered: int = 0
         self.replayed: int = 0
+        self.sent_log_facts: int = 0
 
     def total_sent(self) -> int:
         """Tuples this worker put on remote channels."""
         return sum(self.sent_by_target.values())
+
+    def total_messages(self) -> int:
+        """Coalesced data messages this worker put on remote channels."""
+        return sum(self.messages_by_target.values())

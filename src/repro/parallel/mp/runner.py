@@ -62,6 +62,7 @@ from .protocol import (
     STOP,
     TRACE,
     WorkerStats,
+    typed_sort_key,
 )
 from .worker import worker_main
 
@@ -99,7 +100,8 @@ class MPResult:
 def _picklable_local(program: ParallelProgram, processor: ProcessorId,
                      database: Database) -> Dict[str, Tuple[int, List[tuple]]]:
     local = program.local_database(processor, database)
-    return {rel.name: (rel.arity, sorted(rel, key=repr)) for rel in local}
+    return {rel.name: (rel.arity, sorted(rel, key=typed_sort_key))
+            for rel in local}
 
 
 def run_multiprocessing(program: ParallelProgram, database: Database,
@@ -392,6 +394,10 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         metrics.replayed[proc] = worker_stats.replayed
         for target, count in worker_stats.sent_by_target.items():
             metrics.sent[(proc, target)] += count
+        for target, count in worker_stats.messages_by_target.items():
+            metrics.channel_messages[(proc, target)] += count
+        for target, nbytes in worker_stats.bytes_by_target.items():
+            metrics.channel_bytes[(proc, target)] += nbytes
 
     output = Database()
     for predicate in program.derived:

@@ -3,19 +3,44 @@
 Each worker owns one :class:`~repro.parallel.processor.ProcessorRuntime`
 and a queue per peer.  It drains its inbox, steps the semi-naive loop on
 whatever arrived (receives are asynchronous — the paper's stipulation),
-pushes new tuples straight onto the destination queues, and answers the
+routes new tuples through the compiled
+:class:`~repro.parallel.routing.RouterTable`, and answers the
 coordinator's quiescence probes with its counters (see
 :mod:`.protocol` for the probe/ack invariants).
 
-Fault tolerance.  Every worker keeps a *sent-log*: per peer, the exact
-``(predicate, fact)`` sequence it has routed there.  When the
+Send coalescing.  Outbound tuples are not put on peer queues as they
+are routed: they accumulate in a per-peer buffer across the steps of
+one burst (the inner ``while has_pending_input()`` loop) and are
+flushed as a single multi-predicate ``data`` message — one queue put
+and one pickle per peer per burst — when the burst ends, when a
+buffer crosses :data:`_COALESCE_MAX_FACTS`, at every probe (before the
+ack, so buffered tuples can never hide from the quiescence balance),
+and before an injected kill.  ``REPRO_MP_COALESCE=off`` restores
+one message per ``(target, predicate)`` routing batch for comparison.
+The quiescence counters are incremented at flush time, symmetric with
+the receiver counting at dequeue time, so Theorem-2 accounting is
+untouched (see :mod:`.protocol`).
+
+Fault tolerance.  Every worker keeps a *sent-log*: per peer and
+predicate, the set of facts it has routed there, in first-send order
+(an insertion-ordered dict doubling as the dedup set).  When the
 coordinator restarts a dead peer it asks the survivors to ``replay``
-their logs to it; combined with the restarted worker re-deriving its own
-outputs from its base fragment, monotonicity plus duplicate-dropping
-makes the recovered run's answer identical to an undisturbed one
-(Theorem 1 under failure).  ``reset`` messages carry the new recovery
-epoch; see :mod:`.protocol` for why quiescence counters must be zeroed
-at that cut.
+their logs to it; combined with the restarted worker re-deriving its
+own outputs from its base fragment, monotonicity plus
+duplicate-dropping makes the recovered run's answer identical to an
+undisturbed one (Theorem 1 under failure).
+
+Replay equivalence of the deduplicated log: receivers discard
+duplicates (the difference step of the paper's receiving rules), so
+replaying each logged fact once is indistinguishable to the receiver
+from replaying the raw historical send sequence — any extra copies in
+that sequence would have been dropped on arrival anyway.  Deduplication
+also bounds the log: per peer it can never exceed this worker's own
+``t_out`` sizes (times fan-out), whatever the channel faults or restart
+history did; the bound is reported as ``sent_log_facts`` in
+:class:`~.protocol.WorkerStats`.  ``reset`` messages carry the new
+recovery epoch; see :mod:`.protocol` for why quiescence counters must
+be zeroed at that cut.
 
 Fault injection.  When a :class:`~repro.parallel.faults.WorkerFaults`
 slice is supplied, the worker disturbs its *own* sends (drop / delay /
@@ -42,6 +67,7 @@ from ...facts.relation import Relation
 from ...obs.sinks import InMemorySink
 from ...obs.tracer import NULL_TRACER, Tracer
 from ..faults import DELAY, DELIVER, DROP, WorkerFaults
+from ..metrics import approx_batch_bytes
 from ..naming import processor_tag
 from ..plans import ProcessorProgram
 from ..processor import ProcessorRuntime
@@ -56,12 +82,25 @@ from .protocol import (
     STOP,
     TRACE,
     WorkerStats,
+    typed_sort_key,
 )
 
 __all__ = ["worker_main"]
 
 ProcessorId = Hashable
-_POLL_SECONDS = 0.005
+
+# Adaptive idle poll bounds.  ``Queue.get(timeout)`` wakes as soon as a
+# message arrives, so a long timeout costs no latency — it only sets
+# how often an idle worker spins through an empty loop.  The poll
+# starts snappy, doubles on every fully idle pass (nothing drained,
+# nothing stepped) and snaps back to the minimum on any activity.
+_POLL_MIN_SECONDS = 0.0005
+_POLL_MAX_SECONDS = 0.04
+
+# Outbound facts buffered per peer before an early flush.  The normal
+# flush point is the end of a step burst; the cap only bounds message
+# size (pickling cost, peer latency) inside very productive bursts.
+_COALESCE_MAX_FACTS = 512
 
 
 def _rebuild_database(relations: Mapping[str, Tuple[int, List[tuple]]]) -> Database:
@@ -100,10 +139,19 @@ def worker_main(program: ProcessorProgram,
     # sent/received balance survives the loss of a dead peer's counters.
     epoch_sent = 0
     epoch_received = 0
-    # Per-peer log of everything ever routed there, for replay on a
-    # peer's restart.  Kept as flat (predicate, fact) pairs in send
-    # order; memory is bounded by the peer's t_in size times fan-out.
-    sent_log: Dict[ProcessorId, List[Tuple[str, tuple]]] = {}
+    # Per-peer, per-predicate log of everything ever routed there, for
+    # replay on a peer's restart.  The inner dict is insertion-ordered
+    # and keyed by fact, so it deduplicates while preserving first-send
+    # order; see the module docstring for why the deduplicated log is
+    # replay-equivalent and memory-bounded.
+    sent_log: Dict[ProcessorId, Dict[str, Dict[tuple, None]]] = {}
+    # Outbound coalescing buffers: facts per peer per predicate, and a
+    # per-peer fact count driving the early-flush threshold.  Read the
+    # toggle here (not at import) so tests can set the env var before
+    # spawning workers.
+    coalesce = os.environ.get("REPRO_MP_COALESCE", "on") != "off"
+    outbound: Dict[ProcessorId, Dict[str, List[tuple]]] = {}
+    outbound_counts: Dict[ProcessorId, int] = {}
     # Sends held back by an injected delay fault, flushed at the next
     # probe (so a delayed tuple is late by at most one probe interval).
     delayed: List[Tuple[ProcessorId, str, tuple]] = []
@@ -125,18 +173,22 @@ def worker_main(program: ProcessorProgram,
     try:
         runtime = ProcessorRuntime(program, _rebuild_database(local_relations),
                                    tracer=tracer)
+        router = program.router_table()
 
         def maybe_die() -> None:
             """Carry out an armed kill fault (a genuine self-SIGKILL).
 
-            Called only at step boundaries; flushes this process's
-            buffered queue writes first so no peer is left blocked on a
-            lock the dying feeder thread held.
+            Called only at step boundaries; flushes the coalescing
+            buffers and this process's buffered queue writes first so no
+            peer is left blocked on a lock the dying feeder thread held
+            (and so the sent-log matches what actually reached the
+            wire).
             """
             if kill_after is None:
                 return
             if runtime.counters.total_firings() < kill_after:
                 return
+            flush_outbound()
             for peer_queue in peer_queues.values():
                 peer_queue.close()
                 peer_queue.join_thread()
@@ -144,60 +196,106 @@ def worker_main(program: ProcessorProgram,
             coordinator_queue.join_thread()
             os.kill(os.getpid(), signal.SIGKILL)
 
-        def send(target: ProcessorId, predicate: str, facts: List[tuple],
-                 replay: bool = False) -> None:
-            """Put one data batch on ``target``'s queue and count it."""
+        def send_now(target: ProcessorId,
+                     pairs: List[Tuple[str, List[tuple]]],
+                     replay: bool = False) -> None:
+            """Put one coalesced data message on ``target``'s queue.
+
+            ``pairs`` is the multi-predicate payload
+            ``[(predicate, facts), ...]``.  All tuple counters are
+            incremented here — the enqueue point — matching the
+            receiver's dequeue-side accounting (see :mod:`.protocol`).
+            """
             nonlocal activity, epoch_sent
-            peer_queues[target].put((DATA, me, predicate, facts, epoch))
+            peer_queues[target].put((DATA, me, pairs, epoch))
+            count = sum(len(facts) for _, facts in pairs)
             stats.sent_by_target[target] = (
-                stats.sent_by_target.get(target, 0) + len(facts))
-            epoch_sent += len(facts)
-            activity += len(facts)
+                stats.sent_by_target.get(target, 0) + count)
+            stats.messages_by_target[target] = (
+                stats.messages_by_target.get(target, 0) + 1)
+            stats.bytes_by_target[target] = (
+                stats.bytes_by_target.get(target, 0)
+                + approx_batch_bytes(pairs))
+            epoch_sent += count
+            activity += count
             if replay:
-                stats.replayed += len(facts)
-            if trace and not replay:
+                stats.replayed += count
+            elif trace:
                 target_tag = processor_tag(target)
-                for _ in facts:
-                    tracer.tuple_sent(tag, target_tag, predicate)
+                for predicate, facts in pairs:
+                    tracer.tuple_sent(tag, target_tag, predicate,
+                                      count=len(facts))
+
+        def flush_target(target: ProcessorId) -> None:
+            by_pred = outbound.get(target)
+            if not by_pred:
+                return
+            outbound[target] = {}
+            outbound_counts[target] = 0
+            send_now(target, list(by_pred.items()))
+
+        def flush_outbound() -> None:
+            """Flush every non-empty coalescing buffer."""
+            for target in outbound:
+                flush_target(target)
+
+        def enqueue(target: ProcessorId, predicate: str,
+                    facts: List[tuple]) -> None:
+            """Buffer facts for ``target``; flush early past the cap."""
+            if not coalesce:
+                send_now(target, [(predicate, facts)])
+                return
+            by_pred = outbound.get(target)
+            if by_pred is None:
+                by_pred = outbound[target] = {}
+            group = by_pred.get(predicate)
+            if group is None:
+                by_pred[predicate] = list(facts)
+            else:
+                group.extend(facts)
+            total = outbound_counts.get(target, 0) + len(facts)
+            outbound_counts[target] = total
+            if total >= _COALESCE_MAX_FACTS:
+                flush_target(target)
 
         def route(emissions: List[Tuple[str, tuple]]) -> None:
+            """Partition a step's emissions and buffer the remote ones."""
             nonlocal activity
-            batches: Dict[ProcessorId, List[Tuple[str, tuple]]] = {}
+            if not emissions:
+                return
+            by_pred: Dict[str, List[tuple]] = {}
             for predicate, fact in emissions:
-                targets = []
-                seen = set()
-                for rte in program.routes_for(predicate):
-                    for target in rte.targets(fact):
-                        if target not in seen:
-                            seen.add(target)
-                            targets.append(target)
-                for target in targets:
+                by_pred.setdefault(predicate, []).append(fact)
+            for predicate, facts in by_pred.items():
+                buckets, _ = router.partition(predicate, facts)
+                for target, bucket in buckets.items():
                     if target == me:
-                        runtime.receive(predicate, [fact], remote=False)
-                        stats.self_delivered += 1
-                        activity += 1
-                    else:
-                        # Logged before any fault decision: a dropped
-                        # send must still be replayable.
-                        sent_log.setdefault(target, []).append(
-                            (predicate, fact))
-                        batches.setdefault(target, []).append((predicate, fact))
-            for target, batch in batches.items():
-                by_pred: Dict[str, List[tuple]] = {}
-                for predicate, fact in batch:
+                        runtime.receive(predicate, bucket, remote=False)
+                        stats.self_delivered += len(bucket)
+                        activity += len(bucket)
+                        continue
+                    # Logged before any fault decision: a dropped send
+                    # must still be replayable.
+                    log = sent_log.setdefault(target, {}).setdefault(
+                        predicate, {})
+                    for fact in bucket:
+                        log[fact] = None
                     if channel_faults is not None:
-                        verdict = channel_faults.decide(
-                            tag, processor_tag(target))
-                        if verdict == DROP:
-                            continue
-                        if verdict == DELAY:
-                            delayed.append((target, predicate, fact))
-                            continue
-                        if verdict != DELIVER:  # duplicate
-                            by_pred.setdefault(predicate, []).append(fact)
-                    by_pred.setdefault(predicate, []).append(fact)
-                for predicate, facts in by_pred.items():
-                    send(target, predicate, facts)
+                        target_tag = processor_tag(target)
+                        deliver: List[tuple] = []
+                        for fact in bucket:
+                            verdict = channel_faults.decide(tag, target_tag)
+                            if verdict == DROP:
+                                continue
+                            if verdict == DELAY:
+                                delayed.append((target, predicate, fact))
+                                continue
+                            if verdict != DELIVER:  # duplicate
+                                deliver.append(fact)
+                            deliver.append(fact)
+                        bucket = deliver
+                    if bucket:
+                        enqueue(target, predicate, bucket)
 
         def flush_delayed() -> None:
             """Deliver sends an injected delay fault held back."""
@@ -209,49 +307,62 @@ def worker_main(program: ProcessorProgram,
                 by_target.setdefault(target, {}).setdefault(
                     predicate, []).append(fact)
             for target, by_pred in by_target.items():
-                for predicate, facts in by_pred.items():
-                    send(target, predicate, facts)
+                send_now(target, list(by_pred.items()))
 
         def replay_to(target: ProcessorId) -> None:
-            """Re-send the full sent-log of ``target`` (its restart)."""
-            log = sent_log.get(target, [])
+            """Re-send the full sent-log of ``target`` (its restart).
+
+            Replays bypass the coalescing buffer: they already ship as
+            one message per peer, and keeping them out of ``outbound``
+            keeps the replayed/sent counter split exact.
+            """
+            log = sent_log.get(target)
             if not log:
                 return
-            by_pred: Dict[str, List[tuple]] = {}
-            for predicate, fact in log:
-                by_pred.setdefault(predicate, []).append(fact)
-            for predicate, facts in by_pred.items():
-                send(target, predicate, facts, replay=True)
+            pairs = [(predicate, list(facts))
+                     for predicate, facts in log.items() if facts]
+            if not pairs:
+                return
+            send_now(target, pairs, replay=True)
             if trace:
-                tracer.replay(tag, processor_tag(target), len(log))
+                tracer.replay(tag, processor_tag(target),
+                              sum(len(facts) for _, facts in pairs))
 
         route(runtime.initialize())
+        flush_outbound()
         maybe_die()
         running = True
+        idle_poll = _POLL_MIN_SECONDS
         while running:
             # Drain everything currently queued, blocking briefly when idle.
             drained_any = False
             while True:
                 try:
                     message = inbox.get(timeout=0.0 if drained_any
-                                        else _POLL_SECONDS)
+                                        else idle_poll)
                 except queue_module.Empty:
                     break
                 kind = message[0]
                 if kind == DATA:
-                    _, sender, predicate, facts, msg_epoch = message
-                    runtime.receive(predicate, facts, remote=True)
-                    stats.received += len(facts)
+                    _, sender, pairs, msg_epoch = message
+                    count = 0
+                    for predicate, facts in pairs:
+                        runtime.receive(predicate, facts, remote=True)
+                        count += len(facts)
+                        if trace:
+                            tracer.tuple_received(tag, processor_tag(sender),
+                                                  predicate, count=len(facts))
+                    stats.received += count
                     if msg_epoch == epoch:
-                        epoch_received += len(facts)
-                    activity += len(facts)
+                        epoch_received += count
+                    activity += count
                     drained_any = True
-                    if trace:
-                        sender_tag = processor_tag(sender)
-                        for _ in facts:
-                            tracer.tuple_received(tag, sender_tag, predicate)
                 elif kind == PROBE:
                     _, seq = message
+                    # Buffered tuples must hit the wire (and the
+                    # epoch_sent counter) before the ack snapshots it,
+                    # or coalescing could fake a sent/received balance.
+                    flush_outbound()
                     flush_delayed()
                     stats.firings = runtime.counters.total_firings()
                     stats.probes = runtime.counters.probes
@@ -286,8 +397,13 @@ def worker_main(program: ProcessorProgram,
             # Step as long as staged input remains (self-deliveries from
             # route() can immediately enable further steps).  Events of a
             # step are labelled with the worker-local iteration number —
-            # real execution has no global rounds.
+            # real execution has no global rounds.  The whole burst
+            # accumulates into the coalescing buffers, flushed once at
+            # the end so peers see the burst's output before this worker
+            # blocks on its inbox again.
+            stepped = False
             while runtime.has_pending_input():
+                stepped = True
                 if trace:
                     tracer.current_round = runtime.counters.iterations + 1
                 emissions = runtime.step()
@@ -295,14 +411,21 @@ def worker_main(program: ProcessorProgram,
                     activity += len(emissions)
                 route(emissions)
                 maybe_die()
+            flush_outbound()
+            if drained_any or stepped:
+                idle_poll = _POLL_MIN_SECONDS
+            else:
+                idle_poll = min(idle_poll * 2, _POLL_MAX_SECONDS)
 
         stats.firings = runtime.counters.total_firings()
         stats.probes = runtime.counters.probes
         stats.iterations = runtime.counters.iterations
         stats.duplicates_dropped = runtime.duplicates_dropped
+        stats.sent_log_facts = sum(
+            len(facts) for log in sent_log.values() for facts in log.values())
         flush_trace()
         outputs = {
-            pred: sorted(runtime.output_relation(pred), key=repr)
+            pred: sorted(runtime.output_relation(pred), key=typed_sort_key)
             for pred in program.out_names
         }
         coordinator_queue.put((RESULT, me, outputs, stats))

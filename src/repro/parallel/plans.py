@@ -27,7 +27,7 @@ from ..facts.database import Database
 from ..facts.fragments import FragmentationPlan
 from ..facts.relation import Relation
 from .discriminating import Discriminator
-from .routing import Route
+from .routing import Route, RouterTable
 
 __all__ = ["FragmentSpec", "ProcessorProgram", "ParallelProgram"]
 
@@ -111,6 +111,29 @@ class ProcessorProgram:
     def routes_for(self, predicate: str) -> Tuple[Route, ...]:
         """The routes applying to tuples of ``predicate``."""
         return tuple(r for r in self.routes if r.predicate == predicate)
+
+    def router_table(self) -> RouterTable:
+        """The compiled batch router over this program's routes.
+
+        Compiled once per program instance and cached; the cache is a
+        plain ``__dict__`` entry so ``dataclasses.replace`` and field
+        mutation in tests build fresh tables, and it is dropped on
+        pickling (mp workers recompile from the routes they receive).
+        """
+        cached = self.__dict__.get("_router_table")
+        if cached is not None and cached[0] == self.routes:
+            return cached[1]
+        table = RouterTable(self.routes)
+        self.__dict__["_router_table"] = (self.routes, table)
+        return table
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_router_table", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 @dataclass

@@ -148,16 +148,29 @@ class ProcessorRuntime:
                 continue
             full = self._in_full[pred]
             delta = self._in_delta[pred]
+            # Bulk ingest: the fresh facts are determined in arrival
+            # order (first occurrence wins, every later occurrence is a
+            # drop — exactly the per-fact ``add`` accounting) and handed
+            # to the relations in one ``update`` each, so index keys are
+            # derived once per fact instead of once per add.
+            fresh: List[Fact] = []
+            seen_new = set()
+            dropped = 0
             for fact in staged:
-                if full.add(fact):
-                    delta.add(fact)
+                if fact in seen_new or fact in full:
+                    dropped += 1
                 else:
-                    self.duplicates_dropped += 1
-                    if tracing:
-                        tracer.tuple_dropped(self.tag, pred)
-            staged.clear()
-            if delta:
+                    seen_new.add(fact)
+                    fresh.append(fact)
+            if fresh:
+                full.update(fresh)
+                delta.update(fresh)
                 fired = True
+            if dropped:
+                self.duplicates_dropped += dropped
+                if tracing:
+                    tracer.tuple_dropped(self.tag, pred, count=dropped)
+            staged.clear()
         if not fired:
             return []
 

@@ -15,8 +15,9 @@ Two regimes exist (paper, Examples 2 and 3):
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Hashable, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..datalog.atom import Atom
 from ..datalog.term import Constant, Variable
@@ -24,9 +25,37 @@ from ..errors import RoutingError
 from ..facts.relation import Fact
 from .discriminating import Discriminator
 
-__all__ = ["BROADCAST", "Route", "route_positions"]
+__all__ = [
+    "BROADCAST",
+    "Route",
+    "RouterTable",
+    "route_kernel_enabled",
+    "route_positions",
+    "set_route_kernel",
+]
 
 ProcessorId = Hashable
+
+# Route-kernel toggle, mirroring the join-kernel toggle in
+# ``engine/plan.py``: the compiled batch partitioner is the default;
+# ``REPRO_ROUTE_KERNEL=generic`` (or ``set_route_kernel(False)``)
+# selects the per-fact ``Route.targets`` reference interpreter so the
+# two can be compared for equivalence and performance.
+_use_kernel = os.environ.get("REPRO_ROUTE_KERNEL", "compiled") != "generic"
+
+
+def route_kernel_enabled() -> bool:
+    """True when partitioning uses the compiled route kernel."""
+    return _use_kernel
+
+
+def set_route_kernel(enabled: bool) -> bool:
+    """Select the compiled kernel (True) or the reference interpreter
+    (False); returns the previous setting."""
+    global _use_kernel
+    previous = _use_kernel
+    _use_kernel = bool(enabled)
+    return previous
 
 
 class _Broadcast:
@@ -114,3 +143,194 @@ class Route:
     def is_broadcast(self) -> bool:
         """True iff this route always broadcasts."""
         return self.positions is None
+
+
+class _CompiledRoute:
+    """One route, precompiled for batch dispatch.
+
+    ``Route.targets`` re-derives everything per fact: it zips the
+    pattern terms, isinstance-checks each for ``Constant``, rebuilds the
+    repeated-variable map and re-reads ``positions``.  All of that is a
+    property of the *route*, not the fact, so it is hoisted here into
+    flat tuples once per route:
+
+    * ``const_checks`` — ``(position, value)`` pairs the fact must equal;
+    * ``same_checks`` — ``(position, first_position)`` pairs for repeated
+      pattern variables;
+    * ``positions`` / ``discriminator`` — the hash dispatch, or
+      ``broadcast`` with the full processor tuple.
+    """
+
+    __slots__ = ("arity", "broadcast", "const_checks", "discriminator",
+                 "positions", "processors", "same_checks", "unchecked")
+
+    def __init__(self, route: Route) -> None:
+        pattern = route.pattern
+        self.arity = pattern.arity
+        const_checks: List[Tuple[int, object]] = []
+        same_checks: List[Tuple[int, int]] = []
+        first_position: Dict[object, int] = {}
+        for index, term in enumerate(pattern.terms):
+            if isinstance(term, Constant):
+                const_checks.append((index, term.value))
+            elif term in first_position:
+                same_checks.append((index, first_position[term]))
+            else:
+                first_position[term] = index
+        self.const_checks = tuple(const_checks)
+        self.same_checks = tuple(same_checks)
+        self.unchecked = not const_checks and not same_checks
+        self.positions = route.positions
+        self.discriminator = route.discriminator
+        self.processors = route.discriminator.processors
+        self.broadcast = route.positions is None
+
+    def matches(self, fact: Fact) -> bool:
+        if len(fact) != self.arity:
+            return False
+        for position, value in self.const_checks:
+            if fact[position] != value:
+                return False
+        for position, first in self.same_checks:
+            if fact[position] != fact[first]:
+                return False
+        return True
+
+
+Buckets = Dict[ProcessorId, List[Fact]]
+
+
+class RouterTable:
+    """Batch partitioner over one processor's routes.
+
+    ``partition`` takes every fact a step emitted for one predicate and
+    splits the whole list into per-target buffers in a single pass —
+    replacing the per-fact walk over ``routes_for()`` that the simulator
+    and the mp worker used to do.  Targets keep first-seen order and
+    each bucket keeps emission order, so downstream accounting
+    (metrics, sent-logs, traces) sees the same tuples it always did,
+    just grouped.
+
+    The compiled path dispatches through :class:`_CompiledRoute`; the
+    reference path (``set_route_kernel(False)`` /
+    ``REPRO_ROUTE_KERNEL=generic``) aggregates per-fact
+    :meth:`Route.targets` calls.  Both return the same
+    ``(buckets, broadcast_count)`` pair, where ``broadcast_count`` is
+    the number of (fact, broadcast route) matches — the quantity
+    ``ParallelMetrics.broadcast_tuples`` has always counted.
+    """
+
+    __slots__ = ("_compiled", "_routes")
+
+    def __init__(self, routes: Sequence[Route]) -> None:
+        grouped: Dict[str, List[Route]] = {}
+        for route in routes:
+            grouped.setdefault(route.predicate, []).append(route)
+        self._routes: Dict[str, Tuple[Route, ...]] = {
+            predicate: tuple(group) for predicate, group in grouped.items()}
+        self._compiled: Dict[str, Tuple[_CompiledRoute, ...]] = {
+            predicate: tuple(_CompiledRoute(route) for route in group)
+            for predicate, group in self._routes.items()}
+
+    def routes_for(self, predicate: str) -> Tuple[Route, ...]:
+        return self._routes.get(predicate, ())
+
+    def partition(self, predicate: str,
+                  facts: Sequence[Fact]) -> Tuple[Buckets, int]:
+        """Split ``facts`` of ``predicate`` into per-target buffers.
+
+        Returns ``(buckets, broadcast_count)``; facts matching no route
+        (or no fragment of a partition-defined discriminator) simply
+        appear in no bucket.  A fact matched by several routes is
+        deduplicated across targets exactly as the per-fact path did.
+        """
+        if _use_kernel:
+            compiled = self._compiled.get(predicate)
+            if not compiled:
+                return {}, 0
+            return self._partition_compiled(compiled, facts)
+        return self._partition_generic(self._routes.get(predicate, ()), facts)
+
+    def _partition_compiled(self, compiled: Tuple[_CompiledRoute, ...],
+                            facts: Sequence[Fact]) -> Tuple[Buckets, int]:
+        buckets: Buckets = {}
+        broadcasts = 0
+        if len(compiled) == 1:
+            kernel = compiled[0]
+            arity = kernel.arity
+            if kernel.broadcast:
+                # Broadcast fast path: every matching fact goes to the
+                # full processor set.
+                if kernel.unchecked:
+                    matching = [fact for fact in facts if len(fact) == arity]
+                else:
+                    matching = [fact for fact in facts if kernel.matches(fact)]
+                if matching and kernel.processors:
+                    broadcasts = len(matching)
+                    for target in kernel.processors:
+                        buckets[target] = list(matching)
+                return buckets, broadcasts
+            if kernel.unchecked and len(kernel.positions) == 1:
+                # Point-to-point fast path: single discriminating
+                # position, no pattern constraints (the common
+                # hash-partitioned case, e.g. Example 3).
+                position = kernel.positions[0]
+                discriminator = kernel.discriminator
+                for fact in facts:
+                    if len(fact) != arity:
+                        continue
+                    try:
+                        target = discriminator((fact[position],))
+                    except RoutingError:
+                        continue
+                    bucket = buckets.get(target)
+                    if bucket is None:
+                        buckets[target] = [fact]
+                    else:
+                        bucket.append(fact)
+                return buckets, 0
+        multi = len(compiled) > 1
+        for fact in facts:
+            seen = None
+            for kernel in compiled:
+                if not kernel.matches(fact):
+                    continue
+                if kernel.broadcast:
+                    targets = kernel.processors
+                    if targets:
+                        broadcasts += 1
+                else:
+                    values = tuple(fact[p] for p in kernel.positions)
+                    try:
+                        targets = (kernel.discriminator(values),)
+                    except RoutingError:
+                        continue
+                if multi:
+                    if seen is None:
+                        seen = set()
+                    for target in targets:
+                        if target not in seen:
+                            seen.add(target)
+                            buckets.setdefault(target, []).append(fact)
+                else:
+                    for target in targets:
+                        buckets.setdefault(target, []).append(fact)
+        return buckets, broadcasts
+
+    @staticmethod
+    def _partition_generic(routes: Tuple[Route, ...],
+                           facts: Sequence[Fact]) -> Tuple[Buckets, int]:
+        """Reference path: per-fact ``Route.targets``, aggregated."""
+        buckets: Buckets = {}
+        broadcasts = 0
+        for fact in facts:
+            seen = set()
+            for route in routes:
+                targets = route.targets(fact)
+                if targets and route.is_broadcast():
+                    broadcasts += 1
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        buckets.setdefault(target, []).append(fact)
+        return buckets, broadcasts

@@ -39,7 +39,7 @@ from ..facts.relation import Fact, Relation
 from ..network.netgraph import NetworkGraph
 from ..obs.tracer import Tracer, ensure_tracer
 from .faults import DELAY, DROP, DUPLICATE, FaultPlan
-from .metrics import ParallelMetrics
+from .metrics import ParallelMetrics, approx_batch_bytes
 from .naming import processor_tag
 from .plans import ParallelProgram
 from .processor import ProcessorRuntime
@@ -181,11 +181,13 @@ class SimulatedCluster:
         self._order = sorted(program.processors, key=processor_tag)
         self._tags = {proc: processor_tag(proc) for proc in self._order}
         self.runtimes: Dict[ProcessorId, ProcessorRuntime] = {}
+        self._routers = {}
         for proc in self._order:
             local = program.local_database(proc, database)
             self.runtimes[proc] = ProcessorRuntime(
                 program.program_for(proc), local, reorder=reorder,
                 tracer=self.tracer)
+            self._routers[proc] = program.program_for(proc).router_table()
         self.metrics = ParallelMetrics(
             scheme=program.scheme, processors=tuple(self._order))
         self._detector = (_SafraDetector(self._order)
@@ -209,24 +211,36 @@ class SimulatedCluster:
     # ------------------------------------------------------------------
     def _route(self, sender: ProcessorId,
                emissions: Sequence[Tuple[str, Fact]]) -> List[Message]:
-        """Apply the sending rules of ``sender`` to its new outputs."""
+        """Apply the sending rules of ``sender`` to its new outputs.
+
+        The whole emission list is partitioned into per-target buffers
+        by the sender's compiled :class:`~.routing.RouterTable` in one
+        pass per predicate; all counters (``sent``, ``self_delivered``,
+        ``broadcast_tuples``) are bumped by bucket size, so totals are
+        identical to the historical per-fact walk.  Each ``(sender,
+        target, predicate)`` bucket counts as one message in the
+        ``channel_messages``/``channel_bytes`` accounting and becomes
+        one counted ``tuple_sent`` event.
+        """
         messages: List[Message] = []
-        program = self.program.program_for(sender)
-        sent_by_dest: Dict[ProcessorId, int] = {}
+        router = self._routers[sender]
+        metrics = self.metrics
+        tracing = self.tracer.enabled
+        total_remote = 0
+        by_pred: Dict[str, List[Fact]] = {}
         for predicate, fact in emissions:
-            targets: List[ProcessorId] = []
-            seen = set()
-            for route in program.routes_for(predicate):
-                route_targets = route.targets(fact)
-                if route.is_broadcast() and route_targets:
-                    self.metrics.broadcast_tuples += 1
-                for target in route_targets:
-                    if target not in seen:
-                        seen.add(target)
-                        targets.append(target)
-            for target in targets:
+            group = by_pred.get(predicate)
+            if group is None:
+                by_pred[predicate] = [fact]
+            else:
+                group.append(fact)
+        for predicate, facts in by_pred.items():
+            buckets, broadcasts = router.partition(predicate, facts)
+            metrics.broadcast_tuples += broadcasts
+            for target, bucket in buckets.items():
+                count = len(bucket)
                 if target == sender:
-                    self.metrics.self_delivered[sender] += 1
+                    metrics.self_delivered[sender] += count
                 else:
                     if (self.network is not None
                             and not self.network.has_edge(sender, target)):
@@ -235,19 +249,25 @@ class SimulatedCluster:
                             f"{predicate} tuple is absent from the imposed "
                             "network graph (Definition 3 forbids indirect "
                             "routing)")
-                    self.metrics.sent[(sender, target)] += 1
-                    sent_by_dest[target] = sent_by_dest.get(target, 0) + 1
+                    channel = (sender, target)
+                    metrics.sent[channel] += count
+                    metrics.channel_messages[channel] += 1
+                    metrics.channel_bytes[channel] += approx_batch_bytes(
+                        ((predicate, bucket),))
+                    total_remote += count
                     if self._kill_after:
                         # Sent-logs only accumulate while a kill fault is
                         # armed; replay needs them, undisturbed runs don't.
-                        self._sent_log.setdefault((sender, target),
-                                                  []).append((predicate, fact))
-                    if self.tracer.enabled:
+                        self._sent_log.setdefault(channel, []).extend(
+                            (predicate, fact) for fact in bucket)
+                    if tracing:
                         self.tracer.tuple_sent(self._tags[sender],
-                                               self._tags[target], predicate)
-                messages.append((target, sender, predicate, fact))
+                                               self._tags[target], predicate,
+                                               count=count)
+                messages.extend(
+                    (target, sender, predicate, fact) for fact in bucket)
         if self._detector is not None:
-            self._detector.on_send(sender, sum(sent_by_dest.values()))
+            self._detector.on_send(sender, total_remote)
         return messages
 
     def _deliver(self, messages: List[Message]
@@ -259,6 +279,37 @@ class SimulatedCluster:
         """
         held: List[Message] = []
         remote_received: Dict[ProcessorId, int] = {}
+        if self.delay_probability <= 0.0 and self._channel_faults is None:
+            # Fault-free fast path: no per-message RNG draw is owed, so
+            # messages can be delivered as whole ``(dest, sender, pred)``
+            # batches — one ``receive`` call and one counted
+            # ``tuple_received`` event per batch.
+            tracing = self.tracer.enabled
+            groups: Dict[Tuple[ProcessorId, ProcessorId, str],
+                         List[Fact]] = {}
+            for destination, sender, predicate, fact in messages:
+                key = (destination, sender, predicate)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [fact]
+                else:
+                    group.append(fact)
+            for (destination, sender, predicate), facts in groups.items():
+                remote = destination != sender
+                self.runtimes[destination].receive(predicate, facts,
+                                                   remote=remote)
+                if remote:
+                    remote_received[destination] = (
+                        remote_received.get(destination, 0) + len(facts))
+                    if tracing:
+                        self.tracer.tuple_received(self._tags[destination],
+                                                   self._tags[sender],
+                                                   predicate,
+                                                   count=len(facts))
+            if self._detector is not None:
+                for proc, count in remote_received.items():
+                    self._detector.on_receive(proc, count)
+            return held, remote_received
         for message in messages:
             if (self.delay_probability > 0.0
                     and self._rng.random() < self.delay_probability):
@@ -329,9 +380,15 @@ class SimulatedCluster:
                 log = self._sent_log.get((src, proc), [])
                 if not log:
                     continue
+                replay_pairs: Dict[str, List[Fact]] = {}
                 for predicate, fact in log:
                     in_flight.append((proc, src, predicate, fact))
+                    replay_pairs.setdefault(predicate, []).append(fact)
                 self.metrics.sent[(src, proc)] += len(log)
+                # A replay burst travels as one coalesced message.
+                self.metrics.channel_messages[(src, proc)] += 1
+                self.metrics.channel_bytes[(src, proc)] += approx_batch_bytes(
+                    replay_pairs.items())
                 self.metrics.replayed[src] += len(log)
                 if self._detector is not None:
                     self._detector.on_send(src, len(log))

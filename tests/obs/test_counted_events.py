@@ -1,0 +1,73 @@
+"""Counted tuple events: one trace event may now carry ``count`` tuples.
+
+The batched communication path emits ``tuple_sent``/``tuple_received``/
+``tuple_dropped`` once per batch with a ``count`` payload instead of
+once per tuple.  These tests pin the two compatibility promises:
+``count == 1`` keeps the historical payload byte-identical, and every
+consumer (:class:`TraceReport`, :class:`AggregateSink`) weights by the
+count so totals are indistinguishable from per-tuple streams.
+"""
+
+from repro.obs import (
+    AggregateSink,
+    InMemorySink,
+    TUPLE_DROPPED,
+    TUPLE_RECEIVED,
+    TUPLE_SENT,
+    TraceReport,
+    Tracer,
+    event_to_json,
+)
+
+
+class TestCountPayload:
+    def test_count_one_is_byte_identical_to_legacy(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        tracer.tuple_sent("0", "1", "anc")
+        tracer.tuple_sent("0", "1", "anc", count=1)
+        (legacy, explicit) = sink.events
+        assert "count" not in legacy.data
+        assert event_to_json(legacy) == event_to_json(explicit)
+
+    def test_count_gt_one_is_recorded(self):
+        sink = InMemorySink()
+        Tracer(sink).tuple_received("1", "0", "anc", count=7)
+        assert sink.events[0].data["count"] == 7
+
+
+class TestWeightedConsumers:
+    def _traced(self, sink):
+        tracer = Tracer(sink)
+        tracer.tuple_sent("0", "1", "anc", count=3)
+        tracer.tuple_sent("0", "1", "anc")          # legacy single
+        tracer.tuple_received("1", "0", "anc", count=4)
+        tracer.tuple_dropped("1", "anc", count=2)
+        return sink
+
+    def test_report_totals_weight_by_count(self):
+        sink = self._traced(InMemorySink())
+        report = TraceReport(sink.events)
+        assert report.total_sent() == 4
+        assert report.sent[("0", "1")] == 4
+        assert report.received["1"] == 4
+        assert report.dropped["1"] == 2
+
+    def test_aggregate_sink_weights_by_count(self):
+        sink = self._traced(AggregateSink())
+        assert sink.by_kind[TUPLE_SENT] == 4
+        assert sink.by_kind[TUPLE_RECEIVED] == 4
+        assert sink.by_kind[TUPLE_DROPPED] == 2
+        assert sink.by_proc[(TUPLE_SENT, "0")] == 4
+
+    def test_batched_stream_equals_per_tuple_stream(self):
+        """A coalesced trace and a per-tuple trace of the same traffic
+        must aggregate identically."""
+        batched, per_tuple = InMemorySink(), InMemorySink()
+        Tracer(batched).tuple_sent("0", "1", "anc", count=5)
+        looped = Tracer(per_tuple)
+        for _ in range(5):
+            looped.tuple_sent("0", "1", "anc")
+        a, b = TraceReport(batched.events), TraceReport(per_tuple.events)
+        assert a.total_sent() == b.total_sent() == 5
+        assert a.sent == b.sent

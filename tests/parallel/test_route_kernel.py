@@ -1,0 +1,167 @@
+"""Equivalence of the compiled route kernel and its reference interpreter.
+
+The :class:`~repro.parallel.routing.RouterTable` has two partitioning
+paths: the compiled kernel (default) and the generic per-fact
+``Route.targets`` aggregation (``set_route_kernel(False)`` /
+``REPRO_ROUTE_KERNEL=generic``).  Theorems 1 and 2 rest on routing
+being *exactly* the sending rules, so the two paths must agree on
+buckets, bucket order, and the broadcast count — over random routes and
+fragments (Hypothesis) and over the paper's schemes end-to-end.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog.atom import Atom
+from repro.datalog.term import Constant, Variable
+from repro.engine import evaluate
+from repro.errors import RoutingError
+from repro.parallel import (
+    ConstantDiscriminator,
+    HashDiscriminator,
+    Route,
+    RouterTable,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    route_kernel_enabled,
+    run_parallel,
+    set_route_kernel,
+    wolfson_scheme,
+)
+from repro.parallel.discriminating import Discriminator
+from repro.workloads import ancestor_program, random_tree_edges
+from repro.facts import Database
+
+
+class _OddRejector(Discriminator):
+    """Routes even sums, raises RoutingError on odd — exercises the
+    partition-defined path where a tuple belongs to no fragment."""
+
+    def __call__(self, values):
+        total = sum(v if isinstance(v, int) else len(str(v))
+                    for v in values)
+        if total % 2:
+            raise RoutingError(f"no fragment for {values!r}")
+        return self.processors[total % len(self.processors)]
+
+
+def _reference_partition(routes, facts):
+    """Straight-line transcription of the historical per-fact walk."""
+    buckets = {}
+    broadcasts = 0
+    for fact in facts:
+        seen = set()
+        for route in routes:
+            targets = route.targets(fact)
+            if targets and route.is_broadcast():
+                broadcasts += 1
+            for target in targets:
+                if target not in seen:
+                    seen.add(target)
+                    buckets.setdefault(target, []).append(fact)
+    return buckets, broadcasts
+
+
+_VALUES = st.one_of(st.integers(min_value=-5, max_value=20),
+                    st.sampled_from(["a", "b", "xyz", ""]))
+
+
+@st.composite
+def _route_for(draw, predicate, arity, processors):
+    variables = [Variable(name) for name in ("X", "Y", "Z")]
+    terms = [draw(st.one_of(st.sampled_from(variables),
+                            st.builds(Constant, _VALUES)))
+             for _ in range(arity)]
+    pattern = Atom(predicate, terms)
+    discriminator = draw(st.one_of(
+        st.builds(lambda salt: HashDiscriminator(processors, salt=salt),
+                  st.integers(min_value=0, max_value=3)),
+        st.sampled_from([ConstantDiscriminator(processors, processors[0]),
+                         _OddRejector(processors)])))
+    broadcast = draw(st.booleans())
+    if broadcast:
+        positions = None
+    else:
+        positions = tuple(draw(st.lists(
+            st.integers(min_value=0, max_value=arity - 1),
+            min_size=1, max_size=arity)))
+    return Route(predicate=predicate, pattern=pattern,
+                 positions=positions, discriminator=discriminator)
+
+
+@st.composite
+def _case(draw):
+    processors = tuple(range(draw(st.integers(min_value=1, max_value=4))))
+    arity = draw(st.integers(min_value=1, max_value=3))
+    routes = draw(st.lists(_route_for("t", arity, processors),
+                           min_size=1, max_size=3))
+    facts = draw(st.lists(
+        st.tuples(*[_VALUES] * draw(st.integers(min_value=1, max_value=4))),
+        min_size=0, max_size=25))
+    return routes, [tuple(fact) for fact in facts]
+
+
+class TestKernelEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(case=_case())
+    def test_partition_matches_reference(self, case):
+        routes, facts = case
+        table = RouterTable(routes)
+        compiled = table.partition("t", facts)
+        previous = set_route_kernel(False)
+        try:
+            generic = table.partition("t", facts)
+        finally:
+            set_route_kernel(previous)
+        # Bucket *lists* compare ordered, so these equalities also pin
+        # down per-target emission order, not just membership.
+        assert compiled == generic
+        assert compiled == _reference_partition(routes, facts)
+
+    def test_unknown_predicate_routes_nowhere(self):
+        pattern = Atom("t", [Variable("X")])
+        table = RouterTable([Route("t", pattern, (0,),
+                                   HashDiscriminator((0, 1)))])
+        assert table.partition("other", [(1,)]) == ({}, 0)
+        assert table.routes_for("t") and not table.routes_for("other")
+
+
+class TestKernelToggle:
+    def test_set_route_kernel_returns_previous(self):
+        assert route_kernel_enabled()
+        previous = set_route_kernel(False)
+        try:
+            assert previous is True
+            assert not route_kernel_enabled()
+        finally:
+            set_route_kernel(previous)
+        assert route_kernel_enabled()
+
+    @pytest.mark.parametrize("scheme", ["example2", "example3", "hash",
+                                        "wolfson"])
+    def test_schemes_identical_under_both_kernels(self, scheme):
+        """End-to-end: simulator metrics and answers must not depend on
+        which routing path is active."""
+        program = ancestor_program()
+        database = Database.from_facts(
+            {"par": random_tree_edges(40, seed=3)})
+        if scheme == "example2":
+            parallel = example2_scheme(program, (0, 1, 2), database)
+        elif scheme == "example3":
+            parallel = example3_scheme(program, (0, 1, 2))
+        elif scheme == "hash":
+            parallel = hash_scheme(program, (0, 1, 2))
+        else:
+            parallel = wolfson_scheme(program, (0, 1))
+        compiled = run_parallel(parallel, database)
+        previous = set_route_kernel(False)
+        try:
+            generic = run_parallel(parallel, database)
+        finally:
+            set_route_kernel(previous)
+        assert (compiled.relation("anc").as_set()
+                == generic.relation("anc").as_set()
+                == evaluate(program, database).relation("anc").as_set())
+        assert compiled.metrics.summary() == generic.metrics.summary()
