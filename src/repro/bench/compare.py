@@ -33,7 +33,7 @@ __all__ = ["ComparisonResult", "MetricDelta", "compare_reports"]
 # message counts) are timing-dependent; reports predating the channel
 # counters simply skip them (absent on either side -> not compared).
 _COST_COUNTERS = ("firings", "probes", "iterations", "tuples_sent", "rounds",
-                  "channel_messages", "channel_bytes")
+                  "channel_messages", "channel_bytes", "ticks", "stalled")
 _EXACT_COUNTERS = ("facts_out",)
 
 # mp burst boundaries move run to run, so an mp scenario's message count

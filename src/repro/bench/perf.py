@@ -119,7 +119,8 @@ def _run_simulator_once(scenario: PerfScenario, workload,
     from ..parallel.simulator import run_parallel
 
     started = time.perf_counter()
-    result = run_parallel(parallel_program, workload.database)
+    result = run_parallel(parallel_program, workload.database,
+                          sync=scenario.sync, staleness=scenario.staleness)
     wall = time.perf_counter() - started
     metrics = result.metrics
     counters = {
@@ -129,6 +130,13 @@ def _run_simulator_once(scenario: PerfScenario, workload,
         "channel_messages": metrics.total_channel_messages(),
         "channel_bytes": metrics.total_channel_bytes(),
         "facts_out": _facts_total(result.output, parallel_program.derived),
+        # The modelled-time / load-balance counters of the BSP-vs-SSP
+        # study; all deterministic in the simulator.
+        "ticks": metrics.ticks,
+        "idle": metrics.total_idle(),
+        "stalled": metrics.total_stalled(),
+        "utilisation": round(metrics.mean_utilisation(), 4),
+        "max_lag": metrics.max_staleness_lag,
     }
     return wall, counters
 
@@ -138,7 +146,9 @@ def _run_mp_once(scenario: PerfScenario, workload,
     from ..parallel.mp import run_multiprocessing
 
     started = time.perf_counter()
-    result = run_multiprocessing(parallel_program, workload.database)
+    result = run_multiprocessing(parallel_program, workload.database,
+                                 sync=scenario.sync,
+                                 staleness=scenario.staleness)
     wall = time.perf_counter() - started
     metrics = result.metrics
     counters = {
@@ -196,6 +206,9 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
         "method": scenario.method,
         "scheme": scenario.scheme,
         "processors": scenario.processors,
+        "sync": scenario.sync,
+        "staleness": (scenario.staleness if scenario.sync == "ssp"
+                      else None),
         "repeats": repeats,
         "warmup": warmup,
         "wall_seconds": round(min(walls), 6),
@@ -340,13 +353,15 @@ def profile_scenario(name: str, top: int = 20) -> str:
 
             def run():
                 run_parallel(parallel_program, workload.database,
-                             tracer=tracer)
+                             tracer=tracer, sync=scenario.sync,
+                             staleness=scenario.staleness)
         else:
             from ..parallel.mp import run_multiprocessing
 
             def run():
                 run_multiprocessing(parallel_program, workload.database,
-                                    tracer=tracer)
+                                    tracer=tracer, sync=scenario.sync,
+                                    staleness=scenario.staleness)
 
     profiler = cProfile.Profile()
     started = time.perf_counter()

@@ -46,6 +46,10 @@ class PerfScenario:
         method: evaluation method for ``kind="engine"``.
         scheme: parallelisation scheme for the parallel kinds.
         processors: processor count for the parallel kinds.
+        sync: synchronisation regime for the parallel kinds (``"bsp"``
+            or ``"ssp"``; defaults keep pre-SSP records comparable).
+        staleness: SSP lead bound (meaningful only with
+            ``sync="ssp"``).
     """
 
     name: str
@@ -56,6 +60,8 @@ class PerfScenario:
     method: Optional[str] = None
     scheme: Optional[str] = None
     processors: Optional[int] = None
+    sync: str = "bsp"
+    staleness: int = 2
 
     def build_workload(self) -> Workload:
         """Materialise the seeded workload."""
@@ -78,6 +84,7 @@ def build_parallel_program(scenario: PerfScenario, program: Program,
         example1_scheme,
         example2_scheme,
         example3_scheme,
+        hash_scheme,
         rewrite_general,
     )
 
@@ -89,6 +96,8 @@ def build_parallel_program(scenario: PerfScenario, program: Program,
         return example2_scheme(program, processors, database)
     if scheme == "example3":
         return example3_scheme(program, processors)
+    if scheme == "hash":
+        return hash_scheme(program, processors)
     if scheme == "general":
         return rewrite_general(program, processors)
     raise ReproError(f"unknown perf scenario scheme {scheme!r}")
@@ -101,10 +110,10 @@ def _engine(name: str, workload: str, size: int, method: str,
 
 
 def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
-         seed: int = 0) -> PerfScenario:
+         seed: int = 0, sync: str = "bsp", staleness: int = 2) -> PerfScenario:
     return PerfScenario(name=name, kind="simulator", workload=workload,
                         size=size, seed=seed, scheme=scheme,
-                        processors=processors)
+                        processors=processors, sync=sync, staleness=staleness)
 
 
 def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
@@ -115,7 +124,8 @@ def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
 
 def default_matrix() -> Tuple[PerfScenario, ...]:
     """The full measured trajectory: engine × workloads, simulator and
-    mp × schemes × 2–8 processors (18 scenarios)."""
+    mp × schemes × 2–8 processors, plus the skewed BSP/SSP study
+    (21 scenarios)."""
     return (
         # Sequential engine: the join kernel's direct exposure.
         _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
@@ -133,6 +143,14 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
         _sim("sim-example3-dag-150-n8", "dag", 150, "example3", 8),
         _sim("sim-general-nldag-96-n4", "nonlinear-dag", 96, "general", 4),
         _sim("sim-general-samegen-96-n2", "same-generation", 96, "general", 2),
+        # Skewed load-balancing study (EXPERIMENTS.md T11): the same
+        # power-law workload under barriers and under two staleness
+        # bounds — utilisation and ticks are the counters to watch.
+        _sim("sim-bsp-hash-skewed-96-n4", "skewed", 96, "hash", 4, seed=3),
+        _sim("sim-ssp2-hash-skewed-96-n4", "skewed", 96, "hash", 4, seed=3,
+             sync="ssp", staleness=2),
+        _sim("sim-ssp4-hash-skewed-96-n4", "skewed", 96, "hash", 4, seed=3,
+             sync="ssp", staleness=4),
         # Real OS processes: spawn + queue + termination-detection cost.
         _mp("mp-example3-dag-96-n2", "dag", 96, "example3", 2),
         _mp("mp-example3-dag-96-n4", "dag", 96, "example3", 4),
@@ -153,6 +171,8 @@ def smoke_matrix() -> Tuple[PerfScenario, ...]:
         _sim("sim-example2-tree-48-n2", "tree", 48, "example2", 2),
         _sim("sim-example3-dag-64-n2", "dag", 64, "example3", 2),
         _sim("sim-general-nldag-48-n2", "nonlinear-dag", 48, "general", 2),
+        _sim("sim-ssp2-hash-skewed-48-n4", "skewed", 48, "hash", 4, seed=3,
+             sync="ssp", staleness=2),
         _mp("mp-example3-chain-48-n2", "chain", 48, "example3", 2),
     )
 

@@ -121,8 +121,10 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             "quiesces")
     program, database = _load(args.program, args.facts)
     parallel_program = _build_scheme(args, program, database)
+    mode = (f"{args.sync}(staleness={args.staleness})"
+            if args.sync == "ssp" else args.sync)
     print(f"scheme: {parallel_program.scheme} on "
-          f"{len(parallel_program.processors)} processors")
+          f"{len(parallel_program.processors)} processors [{mode}]")
     print("base-relation storage:")
     for line in parallel_program.fragmentation.describe().splitlines():
         print(f"  {line}")
@@ -151,7 +153,8 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             result = run_multiprocessing(parallel_program, database,
                                          timeout=args.timeout, tracer=tracer,
                                          recovery=args.recovery,
-                                         faults=faults)
+                                         faults=faults, sync=args.sync,
+                                         staleness=args.staleness)
             print(f"\nreal multiprocessing run: "
                   f"{result.wall_seconds:.2f}s wall")
             if result.restarts:
@@ -162,7 +165,8 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
                                   detect_termination=args.detect_termination,
                                   delay_probability=args.delay_prob,
                                   seed=args.seed, tracer=tracer,
-                                  recovery=args.recovery, faults=faults)
+                                  recovery=args.recovery, faults=faults,
+                                  sync=args.sync, staleness=args.staleness)
             if result.metrics.restarts:
                 print(f"processors restarted after injected faults: "
                       f"{result.metrics.restarts}")
@@ -351,6 +355,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retention fraction for --scheme tradeoff")
     par.add_argument("--mp", action="store_true",
                      help="use real OS processes instead of the simulator")
+    par.add_argument("--sync", choices=("bsp", "ssp"), default="bsp",
+                     help="synchronisation regime: bsp = barriered rounds "
+                          "(free-running on --mp), ssp = stale-synchronous "
+                          "with a bounded staleness lead (see "
+                          "docs/EXECUTION_MODES.md)")
+    par.add_argument("--staleness", type=int, default=2,
+                     help="SSP lead bound: max steps a processor may run "
+                          "ahead of the slowest one still holding work "
+                          "(>= 1; ignored under --sync bsp)")
     par.add_argument("--detect-termination", action="store_true",
                      help="run Safra's detector (simulator only)")
     par.add_argument("--delay-prob", type=float, default=0.0,

@@ -35,6 +35,7 @@ from .events import (
     WORKER_EXIT,
     WORKER_RESTART,
     WORKER_SPAWN,
+    WORKER_STALLED,
 )
 from .report import TraceReport, load_trace
 from .sinks import (
@@ -73,6 +74,7 @@ __all__ = [
     "WORKER_EXIT",
     "WORKER_RESTART",
     "WORKER_SPAWN",
+    "WORKER_STALLED",
     "ensure_tracer",
     "event_to_json",
     "load_trace",

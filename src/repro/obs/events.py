@@ -34,6 +34,7 @@ __all__ = [
     "WORKER_EXIT",
     "WORKER_RESTART",
     "WORKER_SPAWN",
+    "WORKER_STALLED",
 ]
 
 RUN_START = "run_start"
@@ -49,14 +50,15 @@ WORKER_SPAWN = "worker_spawn"
 WORKER_EXIT = "worker_exit"
 WORKER_DOWN = "worker_down"
 WORKER_RESTART = "worker_restart"
+WORKER_STALLED = "worker_stalled"
 REPLAY = "replay"
 SPAN = "span"
 
 EVENT_KINDS = frozenset({
     RUN_START, RUN_END, ROUND_START, ROUND_END, RULE_FIRED,
     TUPLE_SENT, TUPLE_RECEIVED, TUPLE_DROPPED, PROBE,
-    WORKER_SPAWN, WORKER_EXIT, WORKER_DOWN, WORKER_RESTART, REPLAY,
-    SPAN,
+    WORKER_SPAWN, WORKER_EXIT, WORKER_DOWN, WORKER_RESTART,
+    WORKER_STALLED, REPLAY, SPAN,
 })
 
 # Keys of the flat dict form that are *not* payload entries.

@@ -15,11 +15,20 @@ Data plane (worker → worker):
 
 Control plane (coordinator ↔ worker):
 
-* ``("probe", seq)`` — coordinator → worker, a quiescence probe.
-* ``("ack", processor, seq, sent, received, activity, epoch)`` —
-  worker → coordinator, counters at probe time.  ``sent``/``received``
-  count only current-epoch data tuples; ``activity`` is a monotone
-  counter of tuples ingested, emitted and re-sent.
+* ``("probe", seq, horizon)`` — coordinator → worker, a quiescence
+  probe.  ``horizon`` is the coordinator's latest view of the minimum
+  ``clock`` over workers that still hold work (``None`` = no bound
+  currently applies); it is how the SSP staleness bound reaches the
+  workers, and it is ignored under the legacy free-running mode.
+* ``("ack", processor, seq, sent, received, activity, epoch, clock,
+  pending)`` — worker → coordinator, counters at probe time.
+  ``sent``/``received`` count only current-epoch data tuples;
+  ``activity`` is a monotone counter of tuples ingested, emitted and
+  re-sent; ``clock`` is the worker's local step count (its SSP
+  logical clock); ``pending`` is True iff the worker holds staged
+  input it has not yet processed — under SSP a throttled worker can
+  sit on staged input with *static* activity, so termination must
+  additionally require all ``pending`` flags False (see below).
 * ``("stop",)`` — coordinator → worker, terminate and report.
 * ``("result", processor, outputs, stats)`` — worker → coordinator,
   final output relations and cumulative counters.
@@ -76,6 +85,39 @@ never balance again.  Bumping the epoch and zeroing every survivor's
 tuples from the old epoch that are still in flight are ingested but
 not counted (their send-side count was zeroed too), and every replayed
 or newly derived tuple is counted symmetrically in the new epoch.
+
+Stale-synchronous relaxation (``sync="ssp"``)
+---------------------------------------------
+
+Under SSP each worker carries a logical *clock* — its local step
+count — reported in every ack.  The coordinator computes the *horizon*,
+the minimum clock over workers that reported pending work (staged
+input), and broadcasts it on the next probe.  A worker whose
+``clock − horizon >= staleness`` stops *stepping* (it still drains its
+inbox, stages tuples, acks probes and serves replays — only rule
+evaluation is throttled), so no worker races more than ``staleness``
+steps ahead of the slowest worker that still has work to do.  Workers
+without pending work are excluded from the horizon: a finished worker's
+frozen clock must never throttle the rest, and an all-idle cluster
+must be able to terminate.  The bound is enforced to within one probe
+wave of slack — the horizon a worker sees is at most one wave old.
+
+Soundness is unchanged from the epoch argument above: stepping on a
+stale delta can only derive tuples *later*, never different ones
+(set-monotone, non-redundant derivations), so the fixpoint — and the
+pooled answer — is identical to the free-running and sequential runs.
+
+Termination under SSP needs one extra conjunct.  A throttled worker
+holds staged input while its ``activity`` is static and the global
+counters are balanced, which satisfies the legacy double-probe test —
+invariant (2) assumed a worker always processes what it stages.  The
+coordinator therefore also requires every ack of the wave to report
+``pending == False``.  This cannot deadlock: if any worker holds work,
+the minimum-clock worker among the pending ones has lag 0 < staleness
+and is free to step (which is also why ``staleness >= 1`` is
+required).  The extra conjunct is sound for the legacy mode too — a
+transiently-True ``pending`` flag coincides with moved ``activity``,
+so it only delays detection, never falsifies it.
 """
 
 from __future__ import annotations
@@ -146,12 +188,19 @@ class WorkerStats:
         replayed: tuples re-sent while serving ``replay`` requests.
         sent_log_facts: total facts held in the deduplicated per-peer
             replay logs at exit (the bounded-memory satellite metric).
+        throttle_waits: number of times the SSP staleness bound made
+            the worker hold back a step it was otherwise ready to run
+            (counted once per entry into the throttled state, not per
+            poll; always 0 in the legacy mode).
+        max_lag: largest ``clock − horizon`` lead this worker observed
+            for itself at the moment it started a step (so it is
+            bounded by ``staleness`` up to one probe wave of slack).
     """
 
     __slots__ = ("firings", "probes", "iterations", "sent_by_target",
                  "messages_by_target", "bytes_by_target", "received",
                  "duplicates_dropped", "self_delivered", "replayed",
-                 "sent_log_facts")
+                 "sent_log_facts", "throttle_waits", "max_lag")
 
     def __init__(self) -> None:
         self.firings: int = 0
@@ -165,6 +214,8 @@ class WorkerStats:
         self.self_delivered: int = 0
         self.replayed: int = 0
         self.sent_log_facts: int = 0
+        self.throttle_waits: int = 0
+        self.max_lag: int = 0
 
     def total_sent(self) -> int:
         """Tuples this worker put on remote channels."""

@@ -3,10 +3,19 @@
 Spawns one OS process per processor of a rewritten program, wires a
 queue per channel, and detects global quiescence with a counting
 double-probe (Mattern-style): two consecutive probe waves in which no
-worker's activity counter moved and the global sent/received counters
-balance imply that no data message can be in flight, i.e. the paper's
+worker's activity counter moved, the global sent/received counters
+balance, and no worker reports staged-but-unprocessed input imply that
+no data message can be in flight and no work remains, i.e. the paper's
 termination condition — all processors idle and all channels empty.
 The full invariant argument lives in :mod:`.protocol`.
+
+Under ``sync="ssp"`` the coordinator additionally computes the
+*horizon* — the minimum step clock over workers that acked with
+pending work — from each probe wave and broadcasts it on the next, so
+workers can throttle themselves to the staleness bound.  Under the
+default free-running mode the horizon is never set and workers step
+unboundedly; either way answers are exact because termination uses the
+same counting double-probe.
 
 Fault tolerance.  The coordinator polls ``Process.is_alive`` inside the
 ack-collection loop, so a worker that dies *silently* (``SIGKILL``, OOM
@@ -112,7 +121,9 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                         recovery: str = "fail",
                         faults: Optional[FaultPlan] = None,
                         max_restarts: int = 3,
-                        ack_timeout: float = 30.0) -> MPResult:
+                        ack_timeout: float = 30.0,
+                        sync: str = "bsp",
+                        staleness: int = 2) -> MPResult:
     """Execute a rewritten program on real OS processes.
 
     Args:
@@ -138,6 +149,13 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         max_restarts: total worker restarts allowed before giving up.
         ack_timeout: seconds a live worker may go without acking a
             probe before the run is declared wedged.
+        sync: ``"bsp"`` (default) — workers run free, never held back
+            (real execution has no barriers; the name states which
+            semantics the mode matches, not that rounds exist);
+            ``"ssp"`` — workers throttle their stepping to at most
+            ``staleness`` steps ahead of the probe-carried horizon.
+        staleness: SSP lead bound; must be ``>= 1`` so the slowest
+            work-holding worker can always step.
 
     Raises:
         ExecutionError: on worker crash, unrecovered death, wedged
@@ -147,6 +165,13 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         raise ExecutionError(
             f"unknown recovery policy {recovery!r}: expected 'fail' or "
             "'restart'")
+    if sync not in ("bsp", "ssp"):
+        raise ExecutionError(
+            f"unknown sync mode {sync!r}: expected 'bsp' or 'ssp'")
+    if sync == "ssp" and staleness < 1:
+        raise ExecutionError(
+            "ssp requires staleness >= 1: the slowest work-holding worker "
+            "has lag 0 and must always be allowed to step")
     started = time.perf_counter()
     tracer = ensure_tracer(tracer)
     tracing = tracer.enabled
@@ -198,7 +223,7 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             target=worker_main,
             args=(program.program_for(proc), locals_by_proc[proc],
                   inboxes[proc], inboxes, coordinator_queue, tracing,
-                  injected, epoch),
+                  injected, epoch, sync, staleness),
             daemon=True)
         process.start()
         processes[proc] = process
@@ -251,7 +276,13 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
 
         sequence = 0
         probes_sent = 0
-        previous: Optional[Dict[ProcessorId, Tuple[int, int, int]]] = None
+        previous: Optional[Dict[ProcessorId,
+                                Tuple[int, int, int, int, bool]]] = None
+        # SSP horizon broadcast on the next probe wave: min clock over
+        # workers whose last ack reported pending work, None when no
+        # bound currently applies (free-running mode, first wave, the
+        # wave after a recovery, or an all-drained cluster).
+        horizon: Optional[int] = None
         deadline = started + timeout
         while True:
             if time.perf_counter() > deadline:
@@ -259,11 +290,11 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                     f"no quiescence within {timeout} seconds")
             sequence += 1
             for proc in order:
-                inboxes[proc].put((PROBE, sequence))
+                inboxes[proc].put((PROBE, sequence, horizon))
                 probes_sent += 1
             if tracing:
-                tracer.probe(seq=sequence, wave=len(order))
-            snapshot: Dict[ProcessorId, Tuple[int, int, int]] = {}
+                tracer.probe(seq=sequence, wave=len(order), horizon=horizon)
+            snapshot: Dict[ProcessorId, Tuple[int, int, int, int, bool]] = {}
             wave_started = time.perf_counter()
             recovered = False
             while len(snapshot) < len(order):
@@ -313,19 +344,33 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                         tracer.ingest(payload)
                     continue
                 if tag == ACK and message[2] == sequence and message[6] == epoch:
-                    _, proc, _seq, sent, received, activity, _epoch = message
-                    snapshot[proc] = (sent, received, activity)
+                    (_, proc, _seq, sent, received, activity, _epoch,
+                     clock, pending) = message
+                    snapshot[proc] = (sent, received, activity, clock, pending)
             if recovered:
                 # The aborted wave's counters are meaningless across the
                 # epoch change; restart the double-probe from scratch.
+                # The stale horizon goes too: the restarted worker's
+                # clock is 0 and must not be throttled against pre-death
+                # clocks (one unbounded wave is within the SSP slack).
                 previous = None
+                horizon = None
                 continue
-            total_sent = sum(s for s, _, _ in snapshot.values())
-            total_received = sum(r for _, r, _ in snapshot.values())
+            if sync == "ssp":
+                pending_clocks = [snapshot[p][3] for p in order
+                                  if snapshot[p][4]]
+                horizon = min(pending_clocks) if pending_clocks else None
+            total_sent = sum(entry[0] for entry in snapshot.values())
+            total_received = sum(entry[1] for entry in snapshot.values())
             balanced = total_sent == total_received
             unchanged = previous is not None and all(
                 snapshot[p][2] == previous[p][2] for p in order)
-            if balanced and unchanged:
+            # ``pending`` must be clear too: an SSP-throttled worker can
+            # sit on staged input with static activity and balanced
+            # counters (see .protocol); the conjunct is sound — and a
+            # no-op in steady state — for the free-running mode as well.
+            if balanced and unchanged and not any(
+                    snapshot[p][4] for p in order):
                 break
             previous = snapshot
             time.sleep(probe_interval)
@@ -381,7 +426,8 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                     process.terminate()
 
     metrics = ParallelMetrics(scheme=program.scheme + "+mp",
-                              processors=tuple(order))
+                              processors=tuple(order), sync=sync,
+                              staleness=staleness if sync == "ssp" else None)
     metrics.control_messages = probes_sent
     metrics.restarts = restarts
     for proc in order:
@@ -392,6 +438,13 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         metrics.duplicates_dropped[proc] = worker_stats.duplicates_dropped
         metrics.self_delivered[proc] = worker_stats.self_delivered
         metrics.replayed[proc] = worker_stats.replayed
+        # Real execution has no tick model: ``stalled`` counts throttle
+        # *episodes* here (entries into the throttled state), and
+        # ``max_staleness_lag`` is the workers' own step-start maximum.
+        if worker_stats.throttle_waits:
+            metrics.stalled[proc] = worker_stats.throttle_waits
+        if worker_stats.max_lag > metrics.max_staleness_lag:
+            metrics.max_staleness_lag = worker_stats.max_lag
         for target, count in worker_stats.sent_by_target.items():
             metrics.sent[(proc, target)] += count
         for target, count in worker_stats.messages_by_target.items():

@@ -127,6 +127,14 @@ class ProcessorRuntime:
         """True iff staged tuples await the next step."""
         return any(self._staged.values())
 
+    def staged_size(self) -> int:
+        """Staged tuples awaiting the next step (duplicates included).
+
+        The SSP executors report this when a processor is throttled, so
+        traces show how much work the staleness bound is holding back.
+        """
+        return sum(len(staged) for staged in self._staged.values())
+
     def step(self) -> List[Emission]:
         """Run one semi-naive round over the staged input.
 

@@ -15,6 +15,20 @@ runs Safra's token-ring termination-detection algorithm — the "standard
 algorithm of Distributed Computing" the paper defers to [5, 7] — and
 reports its control-message overhead and detection delay.
 
+Two synchronisation regimes are supported (see
+``docs/EXECUTION_MODES.md``).  ``sync="bsp"`` is the historical
+round-barriered execution above.  ``sync="ssp"`` is a stale-synchronous
+tick engine: each processor advances its own clock (one unit per
+semi-naive step), steps cost ticks proportional to the work they
+perform divided by the processor's modelled ``capacity``, and a
+processor may run ahead of the slowest processor that still holds
+pending work by at most ``staleness`` steps before it is throttled.
+Because the discriminating-function partition makes every derivation
+set-monotone and non-redundant, firing on stale deltas can only delay
+tuples, never corrupt them — the pooled answer is identical to BSP and
+to sequential evaluation (Theorem 1), while skewed workloads keep fast
+processors busy instead of idling at barriers.
+
 Fault injection (see :mod:`repro.parallel.faults`) shares its spec
 language with the multiprocessing executor: kill faults discard a
 processor's runtime state once its firing count crosses the threshold
@@ -28,9 +42,12 @@ executor uses, so recovered outputs match undisturbed ones exactly.
 
 from __future__ import annotations
 
+import math
 import random
+from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (Dict, Hashable, List, Mapping, Optional, Sequence, Set,
+                    Tuple)
 
 from ..engine.counters import EvalCounters
 from ..errors import ExecutionError
@@ -154,6 +171,19 @@ class SimulatedCluster:
             :class:`~repro.errors.ExecutionError`; ``"restart"`` — the
             killed processor is rebuilt from its base fragment and its
             peers replay their sent-logs to it.
+        sync: ``"bsp"`` (default) — barriered rounds; ``"ssp"`` — the
+            stale-synchronous tick engine (see the module docstring and
+            ``docs/EXECUTION_MODES.md``).
+        staleness: SSP lead bound — a processor may start a step only
+            while its clock is less than ``staleness`` ahead of the
+            slowest processor that still holds work.  Must be ``>= 1``
+            (the slowest work-holder itself always has lag 0 and can
+            step, which is what makes SSP live).  Ignored under BSP.
+        capacity: optional per-processor speed map (processor *tag* ->
+            work-units per tick, default 1.0) for the SSP cost model; a
+            step performing ``w`` work occupies ``ceil(max(w, 1) /
+            capacity)`` ticks.  Lets experiments model deliberately
+            slow processors.  SSP only.
     """
 
     def __init__(self, program: ParallelProgram, database: Database,
@@ -163,11 +193,30 @@ class SimulatedCluster:
                  network: Optional[NetworkGraph] = None,
                  tracer: Optional[Tracer] = None,
                  faults: Optional[FaultPlan] = None,
-                 recovery: str = "fail") -> None:
+                 recovery: str = "fail",
+                 sync: str = "bsp",
+                 staleness: int = 2,
+                 capacity: Optional[Mapping[str, float]] = None) -> None:
         if recovery not in ("fail", "restart"):
             raise ExecutionError(
                 f"unknown recovery policy {recovery!r}: expected 'fail' or "
                 "'restart'")
+        if sync not in ("bsp", "ssp"):
+            raise ExecutionError(
+                f"unknown sync mode {sync!r}: expected 'bsp' or 'ssp'")
+        if sync == "ssp":
+            if staleness < 1:
+                raise ExecutionError(
+                    "ssp requires staleness >= 1: the slowest work-holding "
+                    "processor has lag 0 and must always be allowed to step")
+            if detect_termination:
+                raise ExecutionError(
+                    "Safra's detector is defined over barriered rounds; "
+                    "detect_termination requires sync='bsp'")
+        elif capacity:
+            raise ExecutionError(
+                "per-processor capacity modelling is part of the SSP cost "
+                "model; pass sync='ssp' to use it")
         self.program = program
         self.database = database
         self.delay_probability = delay_probability
@@ -176,10 +225,22 @@ class SimulatedCluster:
         self.network = network
         self.tracer = ensure_tracer(tracer)
         self.recovery = recovery
+        self.sync = sync
+        self.staleness = staleness
         self._reorder = reorder
         self._rng = random.Random(seed)
         self._order = sorted(program.processors, key=processor_tag)
         self._tags = {proc: processor_tag(proc) for proc in self._order}
+        self._capacity: Dict[str, float] = dict(capacity) if capacity else {}
+        known_tags = set(self._tags.values())
+        for tag, speed in self._capacity.items():
+            if tag not in known_tags:
+                raise ExecutionError(
+                    f"capacity names unknown processor {tag!r}; known: "
+                    f"{sorted(known_tags)}")
+            if speed <= 0:
+                raise ExecutionError(
+                    f"capacity of {tag!r} must be positive, got {speed!r}")
         self.runtimes: Dict[ProcessorId, ProcessorRuntime] = {}
         self._routers = {}
         for proc in self._order:
@@ -189,7 +250,8 @@ class SimulatedCluster:
                 tracer=self.tracer)
             self._routers[proc] = program.program_for(proc).router_table()
         self.metrics = ParallelMetrics(
-            scheme=program.scheme, processors=tuple(self._order))
+            scheme=program.scheme, processors=tuple(self._order),
+            sync=sync, staleness=staleness if sync == "ssp" else None)
         self._detector = (_SafraDetector(self._order)
                           if detect_termination else None)
         # Fault injection state: kill thresholds by processor (one-shot),
@@ -404,6 +466,8 @@ class SimulatedCluster:
             ExecutionError: if ``max_rounds`` is exceeded, or an
                 injected kill fires under ``recovery="fail"``.
         """
+        if self.sync == "ssp":
+            return self._run_ssp()
         tracer = self.tracer
         tracing = tracer.enabled
         if tracing:
@@ -473,6 +537,241 @@ class SimulatedCluster:
                                  hops=self._detector.hops,
                                  detected=self._detector.detected)
 
+        if self._detector is not None:
+            self.metrics.control_messages = self._detector.hops
+            if quiescent_round is not None:
+                self.metrics.detection_rounds = (
+                    self.metrics.rounds - quiescent_round)
+        # Derive barrier busy/idle accounting from the per-round loads:
+        # each round lasts as long as its most loaded processor, everyone
+        # else waits at the barrier for the difference.  This puts BSP in
+        # the same busy/idle/ticks currency the SSP engine measures
+        # natively, so utilisation is comparable across modes.
+        for round_work in self.metrics.per_round_work:
+            peak = max((round_work.get(p, 0.0) for p in self._order),
+                       default=0.0)
+            if peak <= 0:
+                continue
+            self.metrics.ticks += int(math.ceil(peak))
+            for proc in self._order:
+                work = round_work.get(proc, 0.0)
+                self.metrics.busy[proc] += int(work)
+                self.metrics.idle[proc] += int(math.ceil(peak)) - int(work)
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # Stale-synchronous (SSP) tick engine
+    # ------------------------------------------------------------------
+    def _schedule_ssp(self, messages: Sequence[Message], base_tick: int,
+                      deliveries: Dict[int, List[Message]],
+                      inflight_to: Counter) -> None:
+        """Schedule routed messages for future delivery.
+
+        Arrival is ``base_tick + 1`` (a channel hop costs one tick);
+        injected delay — probabilistic or from a channel fault — pushes
+        it further out, drop discards here (so a scheduled message is
+        always eventually delivered), duplicate schedules two copies.
+        """
+        for message in messages:
+            destination, sender, _predicate, _fact = message
+            arrival = base_tick + 1
+            if (self.delay_probability > 0.0
+                    and self._rng.random() < self.delay_probability):
+                arrival += 1
+            copies = 1
+            if self._channel_faults is not None and destination != sender:
+                verdict = self._channel_faults.decide(
+                    self._tags[sender], self._tags[destination])
+                if verdict == DROP:
+                    continue
+                if verdict == DELAY:
+                    arrival += 2
+                elif verdict == DUPLICATE:
+                    copies = 2
+            for _ in range(copies):
+                deliveries.setdefault(arrival, []).append(message)
+                inflight_to[destination] += 1
+
+    def _deliver_ssp(self, messages: Sequence[Message],
+                     inflight_to: Counter) -> None:
+        """Stage due messages, batched per ``(dest, sender, pred)``."""
+        tracing = self.tracer.enabled
+        groups: Dict[Tuple[ProcessorId, ProcessorId, str], List[Fact]] = {}
+        for destination, sender, predicate, fact in messages:
+            inflight_to[destination] -= 1
+            groups.setdefault((destination, sender, predicate), []).append(fact)
+        for (destination, sender, predicate), facts in groups.items():
+            remote = destination != sender
+            self.runtimes[destination].receive(predicate, facts, remote=remote)
+            if remote and tracing:
+                self.tracer.tuple_received(
+                    self._tags[destination], self._tags[sender], predicate,
+                    count=len(facts))
+
+    def _apply_kill_ssp(self, proc: ProcessorId, tick: int,
+                        deliveries: Dict[int, List[Message]],
+                        inflight_to: Counter,
+                        clock: Dict[ProcessorId, int],
+                        busy_until: Dict[ProcessorId, int]) -> None:
+        """Fire one armed kill at a step boundary of the SSP engine.
+
+        Same restart-and-replay protocol as the BSP path, adapted to the
+        tick clock: the rebuilt processor's SSP clock restarts at 0,
+        which can only *lower* the horizon — peers over-throttle rather
+        than race ahead of a recovering processor, which is the sound
+        direction.
+        """
+        firings = self.runtimes[proc].counters.total_firings()
+        tag = self._tags[proc]
+        tracing = self.tracer.enabled
+        del self._kill_after[proc]
+        if tracing:
+            self.tracer.worker_down(tag, firings=firings, tick=tick)
+        if self.recovery != "restart":
+            raise ExecutionError(
+                f"processor {tag!r} killed by injected fault after "
+                f"{firings} firings (recovery policy is 'fail')")
+        local = self.program.local_database(proc, self.database)
+        self.runtimes[proc] = ProcessorRuntime(
+            self.program.program_for(proc), local,
+            reorder=self._reorder, tracer=self.tracer)
+        self.metrics.restarts += 1
+        clock[proc] = 0
+        if tracing:
+            self.tracer.worker_restart(tag, tick=tick)
+        for src in self._order:
+            if src == proc:
+                continue
+            log = self._sent_log.get((src, proc), [])
+            if not log:
+                continue
+            replay_pairs: Dict[str, List[Fact]] = {}
+            for predicate, fact in log:
+                deliveries.setdefault(tick + 1, []).append(
+                    (proc, src, predicate, fact))
+                inflight_to[proc] += 1
+                replay_pairs.setdefault(predicate, []).append(fact)
+            self.metrics.sent[(src, proc)] += len(log)
+            self.metrics.channel_messages[(src, proc)] += 1
+            self.metrics.channel_bytes[(src, proc)] += approx_batch_bytes(
+                replay_pairs.items())
+            self.metrics.replayed[src] += len(log)
+            if tracing:
+                self.tracer.replay(self._tags[src], tag, len(log))
+        self._schedule_ssp(self._route(proc, self.runtimes[proc].initialize()),
+                           tick, deliveries, inflight_to)
+        busy_until[proc] = tick + 1  # re-initialization occupies one tick
+
+    def _run_ssp(self) -> ParallelResult:
+        """Execute under bounded staleness until global quiescence.
+
+        The engine advances a global tick.  Each processor is either
+        *busy* (inside a step whose cost is ``ceil(max(work, 1) /
+        capacity)`` ticks), *idle* (no staged input), *stalled*
+        (staged input but throttled by the staleness bound), or starts
+        a new step.  The horizon is the minimum clock over processors
+        that still hold work — staged input, a step in progress, or
+        in-flight messages headed their way; processors without work
+        are excluded so a finished processor can never throttle the
+        rest (and an idle cluster terminates).  A processor may start
+        a step only while ``clock - horizon < staleness``.
+        """
+        tracer = self.tracer
+        tracing = tracer.enabled
+        metrics = self.metrics
+        if tracing:
+            tracer.run_start(scheme=self.program.scheme,
+                             processors=[self._tags[p] for p in self._order],
+                             executor="simulator")
+            for proc in self._order:
+                tracer.worker_spawn(self._tags[proc])
+
+        deliveries: Dict[int, List[Message]] = {}
+        inflight_to: Counter = Counter()
+        clock: Dict[ProcessorId, int] = {p: 0 for p in self._order}
+        busy_until: Dict[ProcessorId, int] = {p: 1 for p in self._order}
+        stalled_now: Set[ProcessorId] = set()
+        for proc in self._order:
+            # Initialization rules fire at tick 0 and occupy it.
+            emissions = self.runtimes[proc].initialize()
+            self._schedule_ssp(self._route(proc, emissions), 0,
+                               deliveries, inflight_to)
+            metrics.busy[proc] += 1
+
+        tick = 1
+        while True:
+            if tick > self.max_rounds:
+                raise ExecutionError(
+                    f"no quiescence after {self.max_rounds} ticks")
+            arrivals = deliveries.pop(tick, None)
+            if arrivals:
+                self._deliver_ssp(arrivals, inflight_to)
+
+            busy = {p: busy_until[p] > tick for p in self._order}
+            if self._kill_after:
+                for proc in list(self._kill_after):
+                    threshold = self._kill_after[proc]
+                    if (not busy[proc] and self.runtimes[proc].counters
+                            .total_firings() >= threshold):
+                        self._apply_kill_ssp(proc, tick, deliveries,
+                                             inflight_to, clock, busy_until)
+                        busy[proc] = True
+
+            pending = {p: self.runtimes[p].has_pending_input()
+                       for p in self._order}
+            holders = [p for p in self._order
+                       if busy[p] or pending[p] or inflight_to[p] > 0]
+            if not holders:
+                break
+            horizon = min(clock[p] for p in holders)
+
+            for proc in self._order:
+                if busy[proc]:
+                    metrics.busy[proc] += 1
+                    continue
+                runtime = self.runtimes[proc]
+                if not pending[proc]:
+                    metrics.idle[proc] += 1
+                    stalled_now.discard(proc)
+                    continue
+                lag = clock[proc] - horizon
+                if lag >= self.staleness:
+                    metrics.stalled[proc] += 1
+                    if proc not in stalled_now:
+                        stalled_now.add(proc)
+                        if tracing:
+                            tracer.worker_stalled(
+                                self._tags[proc], lag,
+                                staged=runtime.staged_size(), tick=tick)
+                    continue
+                stalled_now.discard(proc)
+                lead = clock[proc] + 1 - horizon
+                if lead > metrics.max_staleness_lag:
+                    metrics.max_staleness_lag = lead
+                before = runtime.work_done()
+                emissions = runtime.step()
+                work = runtime.work_done() - before
+                speed = self._capacity.get(self._tags[proc], 1.0)
+                duration = max(1, int(math.ceil(max(work, 1.0) / speed)))
+                clock[proc] += 1
+                busy_until[proc] = tick + duration
+                metrics.busy[proc] += 1
+                # Emissions travel once the step completes: schedule
+                # against the step's last busy tick.
+                self._schedule_ssp(self._route(proc, emissions),
+                                   tick + duration - 1, deliveries,
+                                   inflight_to)
+            tick += 1
+
+        metrics.ticks = tick
+        metrics.rounds = max(clock.values(), default=0)
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> ParallelResult:
+        """Harvest counters, pool the answers, close the trace."""
+        tracer = self.tracer
+        tracing = tracer.enabled
         counters = {p: self.runtimes[p].counters for p in self._order}
         for proc in self._order:
             self.metrics.firings[proc] = counters[proc].total_firings()
@@ -485,12 +784,6 @@ class SimulatedCluster:
                                    firings=self.metrics.firings[proc],
                                    probes=self.metrics.probes[proc],
                                    received=self.metrics.received[proc])
-        if self._detector is not None:
-            self.metrics.control_messages = self._detector.hops
-            if quiescent_round is not None:
-                self.metrics.detection_rounds = (
-                    self.metrics.rounds - quiescent_round)
-
         output = Database()
         for predicate in self.program.derived:
             arity = self.program.program_for(self._order[0]).arities[predicate]

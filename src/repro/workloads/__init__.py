@@ -7,6 +7,7 @@ from .graphs import (
     cycle_edges,
     grid_edges,
     layered_dag_edges,
+    powerlaw_dag_edges,
     random_dag_edges,
     random_graph_edges,
     random_tree_edges,
@@ -33,6 +34,7 @@ __all__ = [
     "layered_dag_edges",
     "make_workload",
     "nonlinear_ancestor_program",
+    "powerlaw_dag_edges",
     "random_dag_edges",
     "random_graph_edges",
     "random_tree_edges",

@@ -121,6 +121,13 @@ def _dag(size: int, seed: int) -> Workload:
                     f"ancestor over a diamond-rich {size}-node DAG")
 
 
+@_register("skewed")
+def _skewed(size: int, seed: int) -> Workload:
+    return Workload(f"skewed-{size}", ancestor_program(),
+                    _edge_db("par", graphs.powerlaw_dag_edges(size, 2, seed=seed)),
+                    f"ancestor over a {size}-node power-law DAG (hub-skewed)")
+
+
 @_register("layered")
 def _layered(size: int, seed: int) -> Workload:
     width = max(2, size // 10)

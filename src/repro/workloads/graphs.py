@@ -24,6 +24,7 @@ __all__ = [
     "random_tree_edges",
     "random_dag_edges",
     "layered_dag_edges",
+    "powerlaw_dag_edges",
     "random_graph_edges",
     "grid_edges",
 ]
@@ -75,6 +76,43 @@ def random_dag_edges(nodes: int, parents: int = 2, seed: int = 0) -> List[Edge]:
         count = min(parents, node - 1)
         for predecessor in rng.sample(range(1, node), count):
             edges.add((predecessor, node))
+    return sorted(edges)
+
+
+def powerlaw_dag_edges(nodes: int, parents: int = 2, exponent: float = 1.2,
+                       seed: int = 0) -> List[Edge]:
+    """A skewed DAG: predecessors drawn by preferential attachment.
+
+    Each node links to up to ``parents`` earlier nodes chosen with
+    probability proportional to ``(out_degree + 1) ** exponent``, so a
+    handful of early hub nodes accumulate most of the out-edges.  Under
+    a hash partition of the recursive attribute this concentrates the
+    derived tuples (and hence the firings) on the processors owning the
+    hubs — the skewed load-balancing workload the paper's future-work
+    section asks about, and the one where stale-synchronous execution
+    visibly beats barriered rounds (``docs/EXECUTION_MODES.md``).
+    """
+    rng = random.Random(seed)
+    edges = set()
+    out_degree = [0] * (nodes + 1)
+    for node in range(2, nodes + 1):
+        weights = [(out_degree[earlier] + 1) ** exponent
+                   for earlier in range(1, node)]
+        total = sum(weights)
+        chosen = set()
+        for _attempt in range(min(parents, node - 1)):
+            point = rng.random() * total
+            cumulative = 0.0
+            predecessor = node - 1
+            for earlier in range(1, node):
+                cumulative += weights[earlier - 1]
+                if point < cumulative:
+                    predecessor = earlier
+                    break
+            chosen.add(predecessor)
+        for predecessor in chosen:
+            edges.add((predecessor, node))
+            out_degree[predecessor] += 1
     return sorted(edges)
 
 
