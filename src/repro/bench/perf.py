@@ -17,7 +17,10 @@ discipline (documented in ``docs/PERFORMANCE.md``):
 * **before/after in one report** — engine scenarios are additionally
   measured with the generic (unspecialized) join interpreter, so the
   compiled kernel's speedup is recorded alongside the number it
-  produced (``baseline_wall_seconds`` / ``kernel_speedup``).
+  produced (``baseline_wall_seconds`` / ``kernel_speedup``); columnar
+  scenarios are likewise A/B-measured against the tuple backend
+  (``backend_wall_seconds`` / ``backend_speedup``), aborting if any
+  deterministic counter diverges between backends.
 
 Profiling (``repro bench profile``) wraps one scenario run in
 :mod:`cProfile` and pairs the hot-function list with a per-phase event
@@ -38,6 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine import evaluate, join_kernel_enabled, set_join_kernel
 from ..errors import ReproError
+from ..facts.backend import fact_backend, set_fact_backend
 from ..obs import AggregateSink, Tracer
 from .scenarios import (
     PerfScenario,
@@ -74,6 +78,7 @@ def machine_fingerprint() -> Dict[str, object]:
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
         "join_kernel": join_kernel_enabled(),
+        "fact_backend": fact_backend(),
     }
 
 
@@ -164,6 +169,32 @@ def _run_mp_once(scenario: PerfScenario, workload,
     return wall, counters
 
 
+def _make_runner(scenario: PerfScenario):
+    """Build the workload under the *current* fact backend and return a
+    zero-argument ``run_once`` closure for it.
+
+    Rebuilt per backend: the workload database itself is made of
+    backend-specific relations, so the tuple-backend A/B baseline must
+    regenerate it rather than reuse the columnar one.
+    """
+    workload = scenario.build_workload()
+    if scenario.kind == "engine":
+        return lambda: _run_engine_once(scenario, workload)
+    if scenario.kind in ("simulator", "mp"):
+        parallel_program = build_parallel_program(
+            scenario, workload.program, workload.database)
+        runner = (_run_simulator_once if scenario.kind == "simulator"
+                  else _run_mp_once)
+        return lambda: runner(scenario, workload, parallel_program)
+    raise ReproError(f"unknown scenario kind {scenario.kind!r}")
+
+
+# mp counters that move with burst boundaries (coalescing and the
+# >=8-fact packing threshold are batch-size dependent): excluded from
+# the backend-equivalence check, gated with a threshold by compare.
+_MP_TIMING_COUNTERS = ("channel_messages", "channel_bytes")
+
+
 def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
                  baseline: bool = True) -> Dict[str, object]:
     """Measure one scenario; return its ``BENCH_*.json`` record.
@@ -174,65 +205,95 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
         warmup: unmeasured runs executed first.
         baseline: for engine scenarios, also measure the generic join
             interpreter and record ``baseline_wall_seconds`` and
-            ``kernel_speedup``.
+            ``kernel_speedup``; for columnar-backend scenarios, also
+            measure the tuple backend and record
+            ``backend_wall_seconds`` and ``backend_speedup`` (aborting
+            if any deterministic counter diverges between backends).
     """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
-    workload = scenario.build_workload()
-    if scenario.kind == "engine":
-        run_once = lambda: _run_engine_once(scenario, workload)
-    elif scenario.kind in ("simulator", "mp"):
-        parallel_program = build_parallel_program(
-            scenario, workload.program, workload.database)
-        runner = (_run_simulator_once if scenario.kind == "simulator"
-                  else _run_mp_once)
-        run_once = lambda: runner(scenario, workload, parallel_program)
-    else:
-        raise ReproError(f"unknown scenario kind {scenario.kind!r}")
+    previous_backend = set_fact_backend(scenario.backend)
+    try:
+        run_once = _make_runner(scenario)
 
-    for _ in range(warmup):
-        run_once()
-    walls: List[float] = []
-    counters: Dict[str, object] = {}
-    for _ in range(repeats):
-        wall, counters = run_once()
-        walls.append(wall)
+        for _ in range(warmup):
+            run_once()
+        walls: List[float] = []
+        counters: Dict[str, object] = {}
+        for _ in range(repeats):
+            wall, counters = run_once()
+            walls.append(wall)
 
-    record: Dict[str, object] = {
-        "name": scenario.name,
-        "kind": scenario.kind,
-        "workload": f"{scenario.workload}-{scenario.size}",
-        "seed": scenario.seed,
-        "method": scenario.method,
-        "scheme": scenario.scheme,
-        "processors": scenario.processors,
-        "sync": scenario.sync,
-        "staleness": (scenario.staleness if scenario.sync == "ssp"
-                      else None),
-        "repeats": repeats,
-        "warmup": warmup,
-        "wall_seconds": round(min(walls), 6),
-        "wall_seconds_all": [round(w, 6) for w in walls],
-        "counters": counters,
-        "peak_rss_kb": _peak_rss_kb(),
-    }
+        record: Dict[str, object] = {
+            "name": scenario.name,
+            "kind": scenario.kind,
+            "workload": f"{scenario.workload}-{scenario.size}",
+            "seed": scenario.seed,
+            "method": scenario.method,
+            "scheme": scenario.scheme,
+            "processors": scenario.processors,
+            "sync": scenario.sync,
+            "staleness": (scenario.staleness if scenario.sync == "ssp"
+                          else None),
+            "backend": scenario.backend,
+            "repeats": repeats,
+            "warmup": warmup,
+            "wall_seconds": round(min(walls), 6),
+            "wall_seconds_all": [round(w, 6) for w in walls],
+            "counters": counters,
+            "peak_rss_kb": _peak_rss_kb(),
+        }
 
-    if baseline and scenario.kind == "engine":
-        previous = set_join_kernel(False)
+        if baseline and scenario.kind == "engine":
+            previous = set_join_kernel(False)
+            try:
+                baseline_walls = []
+                for _ in range(max(1, repeats)):
+                    wall, base_counters = run_once()
+                    baseline_walls.append(wall)
+            finally:
+                set_join_kernel(previous)
+            if base_counters != counters:
+                raise ReproError(
+                    f"join kernel diverged from the generic interpreter on "
+                    f"{scenario.name}: {counters} != {base_counters}")
+            base = min(baseline_walls)
+            record["baseline_wall_seconds"] = round(base, 6)
+            record["kernel_speedup"] = round(base / min(walls), 2)
+    finally:
+        set_fact_backend(previous_backend)
+
+    if baseline and scenario.backend != "tuple":
+        # Backend A/B: the same scenario under the tuple backend, in the
+        # same record (docs/PERFORMANCE.md speedup-claim checklist).
+        previous = set_fact_backend("tuple")
         try:
-            baseline_walls = []
+            tuple_run = _make_runner(scenario)
+            backend_walls = []
+            tuple_counters: Dict[str, object] = {}
             for _ in range(max(1, repeats)):
-                wall, base_counters = run_once()
-                baseline_walls.append(wall)
+                wall, tuple_counters = tuple_run()
+                backend_walls.append(wall)
         finally:
-            set_join_kernel(previous)
-        if base_counters != counters:
+            set_fact_backend(previous)
+        if scenario.kind == "mp":
+            mine = {key: value for key, value in counters.items()
+                    if key not in _MP_TIMING_COUNTERS}
+            theirs = {key: value for key, value in tuple_counters.items()
+                      if key not in _MP_TIMING_COUNTERS}
+            record["tuple_channel_bytes"] = tuple_counters["channel_bytes"]
+            record["channel_bytes_ratio"] = round(
+                counters["channel_bytes"] / tuple_counters["channel_bytes"],
+                4)
+        else:
+            mine, theirs = counters, tuple_counters
+        if mine != theirs:
             raise ReproError(
-                f"join kernel diverged from the generic interpreter on "
-                f"{scenario.name}: {counters} != {base_counters}")
-        base = min(baseline_walls)
-        record["baseline_wall_seconds"] = round(base, 6)
-        record["kernel_speedup"] = round(base / min(walls), 2)
+                f"columnar backend diverged from the tuple backend on "
+                f"{scenario.name}: {mine} != {theirs}")
+        base = min(backend_walls)
+        record["backend_wall_seconds"] = round(base, 6)
+        record["backend_speedup"] = round(base / min(walls), 2)
     return record
 
 
@@ -337,6 +398,14 @@ def profile_scenario(name: str, top: int = 20) -> str:
     worker CPU time shows up in the phase breakdown, not the profile.
     """
     scenario = find_scenario(name)
+    previous_backend = set_fact_backend(scenario.backend)
+    try:
+        return _profile_scenario(scenario, top)
+    finally:
+        set_fact_backend(previous_backend)
+
+
+def _profile_scenario(scenario: PerfScenario, top: int) -> str:
     workload = scenario.build_workload()
     sink = AggregateSink()
     tracer = Tracer(sink)

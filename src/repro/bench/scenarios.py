@@ -50,6 +50,10 @@ class PerfScenario:
             or ``"ssp"``; defaults keep pre-SSP records comparable).
         staleness: SSP lead bound (meaningful only with
             ``sync="ssp"``).
+        backend: fact-store backend (``"tuple"`` or ``"columnar"``;
+            see :mod:`repro.facts.backend`).  Columnar scenarios are
+            additionally measured under the tuple backend so the
+            speedup is recorded next to the number it produced.
     """
 
     name: str
@@ -62,6 +66,7 @@ class PerfScenario:
     processors: Optional[int] = None
     sync: str = "bsp"
     staleness: int = 2
+    backend: str = "tuple"
 
     def build_workload(self) -> Workload:
         """Materialise the seeded workload."""
@@ -73,6 +78,8 @@ class PerfScenario:
             detail = f"method={self.method}"
         else:
             detail = f"scheme={self.scheme} n={self.processors}"
+        if self.backend != "tuple":
+            detail += f" backend={self.backend}"
         return (f"{self.kind:9s} {self.workload}-{self.size} "
                 f"seed={self.seed} {detail}")
 
@@ -104,28 +111,31 @@ def build_parallel_program(scenario: PerfScenario, program: Program,
 
 
 def _engine(name: str, workload: str, size: int, method: str,
-            seed: int = 0) -> PerfScenario:
+            seed: int = 0, backend: str = "tuple") -> PerfScenario:
     return PerfScenario(name=name, kind="engine", workload=workload,
-                        size=size, seed=seed, method=method)
+                        size=size, seed=seed, method=method, backend=backend)
 
 
 def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
-         seed: int = 0, sync: str = "bsp", staleness: int = 2) -> PerfScenario:
+         seed: int = 0, sync: str = "bsp", staleness: int = 2,
+         backend: str = "tuple") -> PerfScenario:
     return PerfScenario(name=name, kind="simulator", workload=workload,
                         size=size, seed=seed, scheme=scheme,
-                        processors=processors, sync=sync, staleness=staleness)
+                        processors=processors, sync=sync, staleness=staleness,
+                        backend=backend)
 
 
 def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
-        seed: int = 0) -> PerfScenario:
+        seed: int = 0, backend: str = "tuple") -> PerfScenario:
     return PerfScenario(name=name, kind="mp", workload=workload, size=size,
-                        seed=seed, scheme=scheme, processors=processors)
+                        seed=seed, scheme=scheme, processors=processors,
+                        backend=backend)
 
 
 def default_matrix() -> Tuple[PerfScenario, ...]:
     """The full measured trajectory: engine × workloads, simulator and
-    mp × schemes × 2–8 processors, plus the skewed BSP/SSP study
-    (21 scenarios)."""
+    mp × schemes × 2–8 processors, the skewed BSP/SSP study, plus the
+    columnar-backend variants of the hottest scenarios (26 scenarios)."""
     return (
         # Sequential engine: the join kernel's direct exposure.
         _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
@@ -159,6 +169,22 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
         # peer — the scenarios most exposed to the batched send path.
         _mp("mp-example2-tree-64-n2", "tree", 64, "example2", 2),
         _mp("mp-example2-tree-64-n4", "tree", 64, "example2", 4),
+        # Columnar fact backend (docs/DATA_PLANE.md): the same seeded
+        # workloads under ``REPRO_FACT_BACKEND=columnar``.  Each is
+        # A/B-measured against the tuple backend in one record
+        # (``backend_wall_seconds`` / ``backend_speedup``); the mp pair
+        # additionally exercises the packed column wire format, whose
+        # win shows up in ``channel_bytes``.
+        _engine("engine-seminaive-chain-256-columnar", "chain", 256,
+                "seminaive", backend="columnar"),
+        _engine("engine-seminaive-grid-144-columnar", "grid", 144,
+                "seminaive", backend="columnar"),
+        _sim("sim-example3-dag-150-n4-columnar", "dag", 150, "example3", 4,
+             backend="columnar"),
+        _mp("mp-example3-dag-96-n4-columnar", "dag", 96, "example3", 4,
+            backend="columnar"),
+        _mp("mp-example2-tree-64-n4-columnar", "tree", 64, "example2", 4,
+            backend="columnar"),
     )
 
 
@@ -174,6 +200,11 @@ def smoke_matrix() -> Tuple[PerfScenario, ...]:
         _sim("sim-ssp2-hash-skewed-48-n4", "skewed", 48, "hash", 4, seed=3,
              sync="ssp", staleness=2),
         _mp("mp-example3-chain-48-n2", "chain", 48, "example3", 2),
+        # One columnar-backend corner per executor, kept tiny.
+        _engine("engine-seminaive-chain-96-columnar", "chain", 96,
+                "seminaive", backend="columnar"),
+        _mp("mp-example3-chain-48-n2-columnar", "chain", 48, "example3", 2,
+            backend="columnar"),
     )
 
 

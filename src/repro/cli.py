@@ -284,6 +284,11 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         best = max(speedups, key=lambda r: r["kernel_speedup"])
         print(f"join-kernel speedup vs generic interpreter: best "
               f"{best['kernel_speedup']}x on {best['name']}")
+    backends = [r for r in scenarios if "backend_speedup" in r]
+    if backends:
+        best = max(backends, key=lambda r: r["backend_speedup"])
+        print(f"columnar-backend speedup vs tuple backend: best "
+              f"{best['backend_speedup']}x on {best['name']}")
     return 0
 
 

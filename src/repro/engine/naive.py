@@ -70,12 +70,21 @@ def naive_evaluate(program: Program, database: Database,
                 if tracing:
                     tracer.rule_fired(None, plan.label, fact)
                 produced.append((head, fact))
-        new_this_round = 0
+        # Close the round with one batch-dedup insert per head predicate
+        # (first-occurrence order preserved; see Relation.add_new_many).
+        by_head: dict = {}
         for head, fact in produced:
-            if working.relation(head).add(fact):
-                counters.record_new(head)
+            bucket = by_head.get(head)
+            if bucket is None:
+                bucket = by_head[head] = []
+            bucket.append(fact)
+        new_this_round = 0
+        for head, facts in by_head.items():
+            fresh = working.relation(head).add_new_many(facts)
+            if fresh:
+                counters.record_new(head, len(fresh))
                 changed = True
-                new_this_round += 1
+                new_this_round += len(fresh)
         if tracing:
             tracer.round_end(counters.iterations,
                              produced=len(produced), new=new_this_round)

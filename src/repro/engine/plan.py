@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..datalog.atom import Atom
@@ -38,6 +39,7 @@ from ..datalog.rule import Constraint, Rule
 from ..datalog.substitution import Substitution
 from ..datalog.term import Constant, Variable
 from ..errors import EvaluationError
+from ..facts.columnar import ColumnarIndex
 from ..facts.database import Database
 from ..facts.relation import Fact
 from .counters import EvalCounters
@@ -128,14 +130,32 @@ class _StepKernel:
 
 
 class _PlanKernel:
-    """A fully compiled plan: step kernels plus the head template."""
+    """A fully compiled plan: step kernels plus the head template.
 
-    __slots__ = ("steps", "head_parts")
+    Attributes:
+        steps: one :class:`_StepKernel` per body atom.
+        head_parts: ``(is_var, var_or_value)`` per head position.
+        emit_slots: the columnar emit plan for the innermost step, or
+            None when the step is ineligible.  When the last step has
+            no residual checks or constraints, *every* fact of its
+            probed bucket fires, so the whole emission batch can be
+            assembled from gathered bucket columns
+            (:meth:`~repro.facts.columnar.ColumnarIndex.bucket_column`)
+            without touching the binding dict.  Each slot is one of
+            ``("c", value)`` head constant, ``("b", variable)`` value
+            bound by an outer step, or ``("p", position)`` value read
+            from the bucket's ``position`` column.
+    """
+
+    __slots__ = ("steps", "head_parts", "emit_slots")
 
     def __init__(self, steps: Tuple[_StepKernel, ...],
-                 head_parts: Tuple[Tuple[bool, object], ...]) -> None:
+                 head_parts: Tuple[Tuple[bool, object], ...],
+                 emit_slots: Optional[Tuple[Tuple[str, object], ...]] = None,
+                 ) -> None:
         self.steps = steps
         self.head_parts = head_parts
+        self.emit_slots = emit_slots
 
 
 def _compile_constraint_check(
@@ -215,7 +235,28 @@ def _compile_kernel(plan: "RulePlan") -> _PlanKernel:
     head_parts = tuple(
         (False, term.value) if isinstance(term, Constant) else (True, term)
         for term in plan.rule.head.terms)
-    return _PlanKernel(steps=tuple(steps), head_parts=head_parts)
+    emit_slots: Optional[Tuple[Tuple[str, object], ...]] = None
+    if steps:
+        last = steps[-1]
+        eligible = (last.key_positions
+                    and not last.const_checks
+                    and not last.bound_checks
+                    and not last.same_checks
+                    and not last.constraint_checks)
+        if eligible:
+            bound_at_last = {variable: position
+                             for position, variable in last.bind_specs}
+            slots: List[Tuple[str, object]] = []
+            for is_var, part in head_parts:
+                if not is_var:
+                    slots.append(("c", part))
+                elif part in bound_at_last:
+                    slots.append(("p", bound_at_last[part]))
+                else:
+                    slots.append(("b", part))
+            emit_slots = tuple(slots)
+    return _PlanKernel(steps=tuple(steps), head_parts=head_parts,
+                       emit_slots=emit_slots)
 
 
 @dataclass(frozen=True)
@@ -310,9 +351,49 @@ class RulePlan:
                             for is_var, part in kstep.key_parts)
             return iter(index.lookup(key))
 
+        emit_slots = kernel.emit_slots
+        last_index = sources[-1][0]
+        columnar_drain = (emit_slots is not None
+                          and isinstance(last_index, ColumnarIndex))
+
         def drain_last() -> Iterator[Fact]:
             """Tight loop over the innermost step — the hottest path."""
             kstep = steps[-1]
+            if columnar_drain:
+                # Columnar batch emission: compile time proved every
+                # bucket fact fires (no residual checks/constraints),
+                # so gather the bound head columns once per bucket and
+                # assemble the whole emission batch with C-level zip
+                # instead of per-fact binding-dict updates.  Probe and
+                # firing counts match the per-fact loop exactly.
+                key = kstep.const_key
+                if key is None:
+                    key = tuple(binding[part] if is_var else part
+                                for is_var, part in kstep.key_parts)
+                if counters is not None:
+                    counters.record_probe()
+                count = len(last_index.lookup(key))
+                if not count:
+                    return
+                parts: List[object] = []
+                has_columns = False
+                for kind, value in emit_slots:
+                    if kind == "p":
+                        parts.append(last_index.bucket_column(key, value))
+                        has_columns = True
+                    elif kind == "b":
+                        parts.append(repeat(binding[value]))
+                    else:
+                        parts.append(repeat(value))
+                if counters is not None:
+                    counters.record_firing(label, count)
+                if has_columns:
+                    yield from zip(*parts)
+                else:
+                    head = tuple(binding[value] if kind == "b" else value
+                                 for kind, value in emit_slots)
+                    yield from repeat(head, count)
+                return
             const_checks = kstep.const_checks
             bound_checks = kstep.bound_checks
             same_checks = kstep.same_checks

@@ -159,12 +159,22 @@ def _evaluate_stratum(stratum: Stratum, working: Database,
         for predicate in predicates:
             prevs[predicate].update(deltas[predicate])
             deltas[predicate].clear()
-        new_this_round = 0
+        # One batch-dedup insert per head predicate (first-occurrence
+        # order preserved; see Relation.add_new_many); the fresh facts
+        # double as the next round's delta.
+        by_head: Dict[str, List[Fact]] = {}
         for head, fact in round_produced:
-            if working.relation(head).add(fact):
-                counters.record_new(str(head))
-                deltas[head].add(fact)
-                new_this_round += 1
+            bucket = by_head.get(head)
+            if bucket is None:
+                bucket = by_head[head] = []
+            bucket.append(fact)
+        new_this_round = 0
+        for head, facts in by_head.items():
+            fresh = working.relation(head).add_new_many(facts)
+            if fresh:
+                counters.record_new(head, len(fresh))
+                deltas[head].update(fresh)
+                new_this_round += len(fresh)
         if tracing:
             tracer.round_end(counters.iterations,
                              produced=len(round_produced),

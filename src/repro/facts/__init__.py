@@ -1,5 +1,19 @@
-"""Storage layer: relations, hash indexes, databases and fragmentation."""
+"""Storage layer: relations, hash indexes, databases and fragmentation.
 
+Two interchangeable storage backends sit behind the ``Relation`` API —
+the tuple-set default and an interned columnar layout — selected via
+:func:`set_fact_backend` / ``REPRO_FACT_BACKEND`` (see
+docs/DATA_PLANE.md and :mod:`repro.facts.backend`).
+"""
+
+from .backend import (
+    FACT_BACKENDS,
+    fact_backend,
+    make_relation,
+    relation_class,
+    set_fact_backend,
+)
+from .columnar import ColumnarIndex, ColumnarRelation
 from .database import Database
 from .fragments import (
     SHARED,
@@ -10,12 +24,18 @@ from .fragments import (
     SharedFragmentation,
 )
 from .index import HashIndex
+from .interning import ConstantInterner, global_interner, reset_global_interner
+from .packing import is_packed, pack_facts, packed_fact_count, unpack_facts
 from .relation import Fact, Relation
 
 __all__ = [
     "SHARED",
     "ArbitraryFragmentation",
+    "ColumnarIndex",
+    "ColumnarRelation",
+    "ConstantInterner",
     "Database",
+    "FACT_BACKENDS",
     "Fact",
     "FragmentationPlan",
     "FragmentationPolicy",
@@ -23,4 +43,14 @@ __all__ = [
     "HashIndex",
     "Relation",
     "SharedFragmentation",
+    "fact_backend",
+    "global_interner",
+    "is_packed",
+    "make_relation",
+    "pack_facts",
+    "packed_fact_count",
+    "relation_class",
+    "reset_global_interner",
+    "set_fact_backend",
+    "unpack_facts",
 ]

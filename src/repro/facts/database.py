@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
 
 from ..datalog.atom import Atom
+from .backend import make_relation
 from .relation import Relation
 
 __all__ = ["Database"]
@@ -39,7 +40,7 @@ class Database:
                 raise ValueError(
                     f"cannot infer arity of empty relation {name!r}; "
                     "use Database.declare instead")
-            relation = Relation(name, len(rows[0]), rows)
+            relation = make_relation(name, len(rows[0]), rows)
             database.attach(relation)
         return database
 
@@ -59,7 +60,7 @@ class Database:
         """
         relation = self._relations.get(name)
         if relation is None:
-            relation = Relation(name, arity)
+            relation = make_relation(name, arity)
             self._relations[name] = relation
         elif relation.arity != arity:
             raise ValueError(
@@ -74,7 +75,7 @@ class Database:
         """Insert a fact, creating the relation if needed."""
         relation = self._relations.get(name)
         if relation is None:
-            relation = Relation(name, len(fact))
+            relation = make_relation(name, len(fact))
             self._relations[name] = relation
         return relation.add(fact)
 

@@ -1,0 +1,96 @@
+"""Process-wide interning of ground constants to dense integer ids.
+
+The columnar backend (:mod:`repro.facts.columnar`) stores relation
+attributes as flat arrays of small ints rather than Python object
+tuples.  The mapping from constants to those ints lives here: a single
+append-only :class:`ConstantInterner` per process assigns each distinct
+constant the next dense id, so every column of every relation shares
+one dictionary and ids stay small enough for ``array('q')`` storage.
+
+Two properties matter for correctness (see docs/DATA_PLANE.md):
+
+* **Ids are process-local.**  Two workers interning the same constants
+  in different orders get different ids, so ids must never cross a
+  process boundary or feed a discriminating function — routing and the
+  mp wire format always work on (or reconstruct) the raw values.
+* **Interning is total and injective** for hashable constants:
+  ``value_of(intern(v)) is v`` for the first instance interned, and
+  equal values always map to the same id.  That makes decoding a plain
+  list index and the columnar relation's row/column views equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Sequence, Tuple
+
+__all__ = ["ConstantInterner", "global_interner", "reset_global_interner"]
+
+
+class ConstantInterner:
+    """Append-only bijection between hashable constants and dense ints."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+        self._values: List[Hashable] = []
+
+    def intern(self, value: Hashable) -> int:
+        """Return the dense id of ``value``, assigning the next one if new."""
+        ids = self._ids
+        ident = ids.get(value)
+        if ident is None:
+            ident = len(self._values)
+            ids[value] = ident
+            self._values.append(value)
+        return ident
+
+    def intern_many(self, values: Iterable[Hashable]) -> List[int]:
+        """Intern a batch of values; returns their ids in order."""
+        intern = self.intern
+        return [intern(value) for value in values]
+
+    def value_of(self, ident: int) -> Hashable:
+        """Decode an id back to its constant.  Raises IndexError if unknown."""
+        if ident < 0:
+            raise IndexError(f"unknown interned id {ident}")
+        return self._values[ident]
+
+    def decode_many(self, idents: Iterable[int]) -> List[Hashable]:
+        """Decode a batch of ids; raises IndexError on any unknown id."""
+        values = self._values
+        return [values[i] for i in idents]
+
+    def intern_fact(self, fact: Sequence[Hashable]) -> Tuple[int, ...]:
+        """Intern every position of a fact tuple."""
+        intern = self.intern
+        return tuple(intern(value) for value in fact)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def __repr__(self) -> str:
+        return f"ConstantInterner(size={len(self._values)})"
+
+
+_GLOBAL = ConstantInterner()
+
+
+def global_interner() -> ConstantInterner:
+    """Return the process-wide interner used by the columnar backend."""
+    return _GLOBAL
+
+
+def reset_global_interner() -> ConstantInterner:
+    """Replace the process-wide interner with a fresh one (tests only).
+
+    Existing :class:`~repro.facts.columnar.ColumnarRelation` column
+    caches may hold ids from the old interner; callers must drop such
+    relations before resetting.  Returns the new interner.
+    """
+    global _GLOBAL
+    _GLOBAL = ConstantInterner()
+    return _GLOBAL

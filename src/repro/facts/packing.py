@@ -1,0 +1,126 @@
+"""Packed-column encoding for fact batches crossing process boundaries.
+
+The mp executor's DATA messages ship ``(predicate, facts)`` pairs.
+Under the tuple wire format each pair's payload is a pickled list of
+Python tuples — every value is re-pickled as a full object, and a
+64-node batch of int pairs costs kilobytes.  The packed format instead
+transposes the batch into per-attribute columns:
+
+* an all-``int64`` column becomes the raw bytes of an ``array('q')``
+  (8 bytes per value, one bytes object to pickle);
+* a repetitive non-int column is dictionary-encoded as (unique values
+  in first-occurrence order, index array bytes);
+* anything else falls back to the plain value list.
+
+Crucially the encoding is **self-contained**: the dictionary of a
+dictionary-encoded column travels inside the message, and int columns
+carry raw values, so no interner state crosses the process boundary
+(interned ids are process-local — see :mod:`repro.facts.interning`).
+The receiver reconstructs the exact value tuples; ``unpack_facts(
+pack_facts(facts))`` is the identity on fact lists (property-tested in
+``tests/facts/test_packing.py``), which keeps routing, discriminating
+functions and quiescence counting oblivious to the wire format.
+
+The deterministic channel-byte model in :mod:`repro.parallel.metrics`
+understands this layout, so ``channel_bytes`` comparisons between the
+two wire formats stay meaningful.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import List, Sequence, Tuple
+
+from .relation import Fact
+
+__all__ = [
+    "PACKED_TAG",
+    "is_packed",
+    "pack_facts",
+    "packed_fact_count",
+    "unpack_facts",
+]
+
+# First element of every packed payload.  A packed payload is a tuple,
+# a legacy payload is a list of fact tuples, so ``is_packed`` is cheap
+# and old/new workers can share a queue during rolling changes.
+PACKED_TAG = "__cols__"
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+# Column encodings: ("i", bytes) int64 column; ("d", values, typecode,
+# bytes) dictionary-encoded column; ("v", list) raw value fallback.
+
+
+def _encode_column(values: List[object]) -> Tuple:
+    all_int = True
+    for value in values:
+        if type(value) is not int or not (_INT64_MIN <= value <= _INT64_MAX):
+            all_int = False
+            break
+    if all_int:
+        return ("i", array("q", values).tobytes())
+    # Dictionary-encode when repetition makes it pay; otherwise ship raw.
+    codes: dict = {}
+    indexes: List[int] = []
+    for value in values:
+        code = codes.get(value)
+        if code is None:
+            code = len(codes)
+            codes[value] = code
+        indexes.append(code)
+    if len(codes) * 2 < len(values):
+        typecode = "H" if len(codes) <= 0xFFFF else "L"
+        return ("d", tuple(codes), typecode,
+                array(typecode, indexes).tobytes())
+    return ("v", values)
+
+
+def _decode_column(encoded: Tuple) -> List[object]:
+    kind = encoded[0]
+    if kind == "i":
+        return array("q", encoded[1]).tolist()
+    if kind == "d":
+        _, uniques, typecode, raw = encoded
+        indexes = array(typecode, raw)
+        return [uniques[i] for i in indexes]
+    if kind == "v":
+        return encoded[1]
+    raise ValueError(f"unknown packed column kind {kind!r}")
+
+
+def pack_facts(facts: Sequence[Fact]) -> Tuple:
+    """Transpose a fact batch into a packed column payload."""
+    count = len(facts)
+    if count == 0:
+        return (PACKED_TAG, 0, 0, ())
+    arity = len(facts[0])
+    columns = tuple(
+        _encode_column([fact[position] for fact in facts])
+        for position in range(arity))
+    return (PACKED_TAG, count, arity, columns)
+
+
+def is_packed(payload: object) -> bool:
+    """True iff ``payload`` is a packed column payload (vs a fact list)."""
+    return (type(payload) is tuple and len(payload) == 4
+            and payload[0] == PACKED_TAG)
+
+
+def packed_fact_count(payload: Tuple) -> int:
+    """Number of facts in a packed payload, without decoding it."""
+    return payload[1]
+
+
+def unpack_facts(payload: Tuple) -> List[Fact]:
+    """Reconstruct the exact fact tuples of a packed payload."""
+    _, count, arity, columns = payload
+    if count == 0:
+        return []
+    if arity == 0:
+        return [() for _ in range(count)]
+    decoded = [_decode_column(column) for column in columns]
+    if arity == 1:
+        return [(value,) for value in decoded[0]]
+    return list(zip(*decoded))

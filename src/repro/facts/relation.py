@@ -79,6 +79,32 @@ class Relation:
             index.add_many(fresh)
         return len(fresh)
 
+    def add_new_many(self, facts: Iterable[Sequence[object]]) -> "list[Fact]":
+        """Insert many facts; return the genuinely new ones, in order.
+
+        Batch-dedup primitive for the engines' round-close loops: the
+        returned list preserves first-occurrence order of the input (so
+        delta relations and emission buffers see facts in the same
+        order a per-fact :meth:`add` loop would produce) and duplicates
+        within the batch collapse to their first occurrence.
+        """
+        arity = self.arity
+        present = self._facts
+        fresh: list = []
+        for fact in facts:
+            tup = tuple(fact)
+            if len(tup) != arity:
+                raise ValueError(
+                    f"relation {self.name}/{self.arity} cannot store {tup!r}")
+            if tup in present:
+                continue
+            present.add(tup)
+            fresh.append(tup)
+        if fresh:
+            for index in self._indexes.values():
+                index.add_many(fresh)
+        return fresh
+
     def discard(self, fact: Sequence[object]) -> bool:
         """Remove ``fact`` if present; return True iff it was present."""
         tup = tuple(fact)
@@ -137,10 +163,17 @@ class Relation:
         return bool(self._facts)
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, Relation)
-                and self.name == other.name
-                and self.arity == other.arity
-                and self._facts == other._facts)
+        # Membership-based so relations from different storage backends
+        # (set-backed tuple store vs dict-backed columnar store) compare
+        # equal whenever they hold the same facts.
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.name != other.name or self.arity != other.arity:
+            return False
+        if len(self._facts) != len(other._facts):
+            return False
+        theirs = other._facts
+        return all(fact in theirs for fact in self._facts)
 
     def __hash__(self) -> int:  # pragma: no cover - relations are mutable
         raise TypeError("Relation is mutable and unhashable")

@@ -76,6 +76,28 @@ class Discriminator:
     def __call__(self, values: Values) -> ProcessorId:
         raise NotImplementedError
 
+    def map_column(self, column: Sequence[object]) -> "list":
+        """Batch form of ``__call__`` over a single-position column.
+
+        Takes the gathered values of one discriminating position (the
+        single-position point-to-point case the route kernel fast-paths)
+        and returns one target per value, with ``None`` for values that
+        belong to no fragment.  The default applies ``__call__``
+        per value; subclasses with cheap dispatch override it with a
+        tight comprehension over the whole column.  Must agree with
+        ``__call__`` value-for-value — routing always works on raw
+        constants, never on interned ids, so both backends and both
+        wire formats partition identically (docs/DATA_PLANE.md).
+        """
+        targets = []
+        append = targets.append
+        for value in column:
+            try:
+                append(self((value,)))
+            except RoutingError:
+                append(None)
+        return targets
+
     def describe(self) -> str:
         """Human-readable summary for reports."""
         return type(self).__name__
@@ -95,6 +117,15 @@ class HashDiscriminator(Discriminator):
     def __call__(self, values: Values) -> ProcessorId:
         return self.processors[stable_hash(values, self.salt)
                                % len(self.processors)]
+
+    def map_column(self, column: Sequence[object]) -> "list":
+        # Hash dispatch never raises, so the whole column maps in one
+        # comprehension (no per-value try/except or method dispatch).
+        processors = self.processors
+        count = len(processors)
+        salt = self.salt
+        return [processors[stable_hash((value,), salt) % count]
+                for value in column]
 
     def describe(self) -> str:
         return f"hash mod {len(self.processors)} (salt={self.salt})"
@@ -116,6 +147,13 @@ class ModuloDiscriminator(Discriminator):
             else:
                 total += stable_hash(value)
         return self.processors[total % len(self.processors)]
+
+    def map_column(self, column: Sequence[object]) -> "list":
+        processors = self.processors
+        count = len(processors)
+        return [processors[(value if isinstance(value, int)
+                            else stable_hash(value)) % count]
+                for value in column]
 
     def describe(self) -> str:
         return f"sum mod {len(self.processors)}"

@@ -15,11 +15,14 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
+from ..facts.packing import is_packed
+
 __all__ = [
     "CostModel",
     "ParallelMetrics",
     "approx_batch_bytes",
     "approx_fact_bytes",
+    "approx_packed_bytes",
 ]
 
 ProcessorId = Hashable
@@ -34,33 +37,77 @@ MESSAGE_OVERHEAD_BYTES = 96   # envelope: tag, sender id, epoch, list
 BATCH_OVERHEAD_BYTES = 48     # per (predicate, facts) group in a message
 _TUPLE_OVERHEAD_BYTES = 56
 _VALUE_BYTES = {int: 28, float: 24, bool: 28, type(None): 16}
+# Packed-column payloads (repro.facts.packing): one encoding tuple per
+# column plus one bytes buffer; raw int64 columns cost 8 bytes/value.
+_COLUMN_OVERHEAD_BYTES = 56   # per-column encoding tuple + kind tag
+_BUFFER_OVERHEAD_BYTES = 33   # bytes object header
+
+
+def _approx_value_bytes(value: object) -> int:
+    if isinstance(value, str):
+        return 49 + len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return 33 + len(value)
+    return _VALUE_BYTES.get(type(value), 48)
 
 
 def approx_fact_bytes(fact: Tuple[object, ...]) -> int:
     """Deterministic approximate in-memory size of one fact tuple."""
     total = _TUPLE_OVERHEAD_BYTES + 8 * len(fact)
     for value in fact:
-        if isinstance(value, str):
-            total += 49 + len(value)
-        elif isinstance(value, (bytes, bytearray)):
-            total += 33 + len(value)
+        total += _approx_value_bytes(value)
+    return total
+
+
+def approx_packed_bytes(payload) -> int:
+    """Deterministic approximate wire size of a packed column payload.
+
+    Mirrors :func:`approx_fact_bytes` for the packed encoding of
+    :mod:`repro.facts.packing`: int64 columns cost their raw buffer (8
+    bytes per value), dictionary-encoded columns cost the unique values
+    plus the index buffer, raw fallback columns cost per value what the
+    tuple model charges.  Keeping both formats in one model is what
+    lets ``repro bench compare`` gate ``channel_bytes`` meaningfully
+    across wire formats.
+    """
+    _tag, _count, _arity, columns = payload
+    total = _TUPLE_OVERHEAD_BYTES
+    for column in columns:
+        kind = column[0]
+        total += _COLUMN_OVERHEAD_BYTES
+        if kind == "i":
+            total += _BUFFER_OVERHEAD_BYTES + len(column[1])
+        elif kind == "d":
+            _kind, uniques, _typecode, raw = column
+            total += _BUFFER_OVERHEAD_BYTES + len(raw)
+            total += _TUPLE_OVERHEAD_BYTES + 8 * len(uniques)
+            for value in uniques:
+                total += _approx_value_bytes(value)
         else:
-            total += _VALUE_BYTES.get(type(value), 48)
+            values = column[1]
+            total += _TUPLE_OVERHEAD_BYTES + 8 * len(values)
+            for value in values:
+                total += _approx_value_bytes(value)
     return total
 
 
 def approx_batch_bytes(pairs) -> int:
     """Approximate wire size of one DATA message.
 
-    ``pairs`` is the coalesced payload ``[(predicate, facts), ...]``;
-    the model charges one message envelope, one group overhead per
-    predicate and :func:`approx_fact_bytes` per tuple.
+    ``pairs`` is the coalesced payload ``[(predicate, payload), ...]``
+    where each payload is either a list of fact tuples or a packed
+    column payload (:func:`repro.facts.packing.pack_facts`); the model
+    charges one message envelope, one group overhead per predicate and
+    the per-format payload cost.
     """
     total = MESSAGE_OVERHEAD_BYTES
-    for predicate, facts in pairs:
+    for predicate, payload in pairs:
         total += BATCH_OVERHEAD_BYTES + len(predicate)
-        for fact in facts:
-            total += approx_fact_bytes(fact)
+        if is_packed(payload):
+            total += approx_packed_bytes(payload)
+        else:
+            for fact in payload:
+                total += approx_fact_bytes(fact)
     return total
 
 

@@ -55,6 +55,8 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from ...errors import ExecutionError
 from ...facts.database import Database
+from ...facts.backend import fact_backend, make_relation
+from ...facts.packing import pack_facts
 from ...facts.relation import Relation
 from ...obs.tracer import Tracer, ensure_tracer
 from ..faults import FaultPlan
@@ -107,10 +109,26 @@ class MPResult:
 
 
 def _picklable_local(program: ParallelProgram, processor: ProcessorId,
-                     database: Database) -> Dict[str, Tuple[int, List[tuple]]]:
+                     database: Database,
+                     backend: Optional[str] = None
+                     ) -> Dict[str, Tuple[int, object]]:
+    """The picklable base fragments of one worker.
+
+    Under the columnar backend large fragments ship as packed column
+    payloads (:mod:`repro.facts.packing`) rather than tuple lists, so
+    the spawn-time pickle cost shrinks the same way DATA messages do.
+    """
+    if backend is None:
+        backend = fact_backend()
     local = program.local_database(processor, database)
-    return {rel.name: (rel.arity, sorted(rel, key=typed_sort_key))
-            for rel in local}
+    picklable: Dict[str, Tuple[int, object]] = {}
+    for rel in local:
+        facts = sorted(rel, key=typed_sort_key)
+        if backend == "columnar" and len(facts) >= 8:
+            picklable[rel.name] = (rel.arity, pack_facts(facts))
+        else:
+            picklable[rel.name] = (rel.arity, facts)
+    return picklable
 
 
 def run_multiprocessing(program: ParallelProgram, database: Database,
@@ -191,7 +209,8 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                     f"{kill.processor!r}; known: {sorted(known)}")
     inboxes = {proc: context.Queue() for proc in order}
     coordinator_queue = context.Queue()
-    locals_by_proc = {proc: _picklable_local(program, proc, database)
+    backend = fact_backend()
+    locals_by_proc = {proc: _picklable_local(program, proc, database, backend)
                       for proc in order}
     worker_faults = {
         proc: faults.worker_faults(tags[proc]) if faults is not None else None
@@ -223,7 +242,7 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             target=worker_main,
             args=(program.program_for(proc), locals_by_proc[proc],
                   inboxes[proc], inboxes, coordinator_queue, tracing,
-                  injected, epoch, sync, staleness),
+                  injected, epoch, sync, staleness, backend),
             daemon=True)
         process.start()
         processes[proc] = process
@@ -455,7 +474,7 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
     output = Database()
     for predicate in program.derived:
         arity = program.program_for(order[0]).arities[predicate]
-        pooled = Relation(predicate, arity)
+        pooled = make_relation(predicate, arity)
         for proc in order:
             facts = outputs[proc].get(predicate, [])
             pooled.update(facts)

@@ -70,8 +70,9 @@ import time
 import traceback
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
+from ...facts.backend import make_relation, set_fact_backend
 from ...facts.database import Database
-from ...facts.relation import Relation
+from ...facts.packing import is_packed, pack_facts, unpack_facts
 from ...obs.sinks import InMemorySink
 from ...obs.tracer import NULL_TRACER, Tracer
 from ..faults import DELAY, DELIVER, DROP, WorkerFaults
@@ -110,12 +111,22 @@ _POLL_MAX_SECONDS = 0.04
 # size (pickling cost, peer latency) inside very productive bursts.
 _COALESCE_MAX_FACTS = 512
 
+# Minimum batch size worth transposing into packed columns on the wire
+# (below it the per-column overhead outweighs the per-fact savings; the
+# byte model in parallel/metrics.py reflects both formats either way).
+_PACK_MIN_FACTS = 8
 
-def _rebuild_database(relations: Mapping[str, Tuple[int, List[tuple]]]) -> Database:
-    """Reconstruct a local database from its picklable form."""
+
+def _rebuild_database(relations: Mapping[str, Tuple[int, object]]) -> Database:
+    """Reconstruct a local database from its picklable form.
+
+    Each value is ``(arity, payload)`` where the payload is a fact list
+    or, under the columnar wire format, a packed column payload.
+    """
     database = Database()
-    for name, (arity, facts) in relations.items():
-        database.attach(Relation(name, arity, facts))
+    for name, (arity, payload) in relations.items():
+        facts = unpack_facts(payload) if is_packed(payload) else payload
+        database.attach(make_relation(name, arity, facts))
     return database
 
 
@@ -125,7 +136,7 @@ def worker_main(program: ProcessorProgram,
                 coordinator_queue, trace: bool = False,
                 faults: Optional[WorkerFaults] = None,
                 epoch: int = 0, sync: str = "bsp",
-                staleness: int = 2) -> None:
+                staleness: int = 2, backend: str = "tuple") -> None:
     """Entry point of a worker process.
 
     Args:
@@ -147,7 +158,17 @@ def worker_main(program: ProcessorProgram,
             flushing continue, so termination detection and recovery
             are unaffected.
         staleness: SSP lead bound (ignored unless ``sync == "ssp"``).
+        backend: fact-storage backend for this worker's local database
+            (``set_fact_backend`` is applied before any relation is
+            built).  Under ``"columnar"`` outbound DATA payloads of
+            :data:`_PACK_MIN_FACTS` or more facts ship as packed column
+            buffers (:mod:`repro.facts.packing`) instead of pickled
+            tuple lists; receivers of either format reconstruct the
+            identical fact tuples, so the choice is invisible to
+            routing and quiescence accounting.
     """
+    set_fact_backend(backend)
+    pack_wire = backend == "columnar"
     me = program.processor
     tag = processor_tag(me)
     stats = WorkerStats()
@@ -231,7 +252,15 @@ def worker_main(program: ProcessorProgram,
             receiver's dequeue-side accounting (see :mod:`.protocol`).
             """
             nonlocal activity, epoch_sent
-            peer_queues[target].put((DATA, me, pairs, epoch))
+            if pack_wire:
+                wire_pairs = [
+                    (predicate,
+                     pack_facts(facts) if len(facts) >= _PACK_MIN_FACTS
+                     else facts)
+                    for predicate, facts in pairs]
+            else:
+                wire_pairs = pairs
+            peer_queues[target].put((DATA, me, wire_pairs, epoch))
             count = sum(len(facts) for _, facts in pairs)
             stats.sent_by_target[target] = (
                 stats.sent_by_target.get(target, 0) + count)
@@ -239,7 +268,7 @@ def worker_main(program: ProcessorProgram,
                 stats.messages_by_target.get(target, 0) + 1)
             stats.bytes_by_target[target] = (
                 stats.bytes_by_target.get(target, 0)
-                + approx_batch_bytes(pairs))
+                + approx_batch_bytes(wire_pairs))
             epoch_sent += count
             activity += count
             if replay:
@@ -370,7 +399,9 @@ def worker_main(program: ProcessorProgram,
                 if kind == DATA:
                     _, sender, pairs, msg_epoch = message
                     count = 0
-                    for predicate, facts in pairs:
+                    for predicate, payload in pairs:
+                        facts = (unpack_facts(payload) if is_packed(payload)
+                                 else payload)
                         runtime.receive(predicate, facts, remote=True)
                         count += len(facts)
                         if trace:

@@ -99,11 +99,17 @@ class ProcessorRuntime:
         for plan in self._init_plans:
             pred = self._out_to_pred[plan.rule.head.predicate]
             out = self._out[pred]
-            for fact in plan.execute(self.working, self.counters):
-                if tracing:
+            produced = plan.execute(self.working, self.counters)
+            if tracing:
+                produced = list(produced)
+                for fact in produced:
                     tracer.rule_fired(self.tag, plan.label, fact)
-                if out.add(fact):
-                    self.counters.record_new(plan.label)
+            # Batch dedup against the output relation; the fresh facts
+            # (first-occurrence order) are exactly what gets routed.
+            fresh = out.add_new_many(produced)
+            if fresh:
+                self.counters.record_new(plan.label, len(fresh))
+                for fact in fresh:
                     emissions.append((pred, fact))
         return emissions
 
@@ -187,11 +193,17 @@ class ProcessorRuntime:
         for plan in self._variant_plans:
             pred = self._out_to_pred[plan.rule.head.predicate]
             out = self._out[pred]
-            for fact in plan.execute(self.working, self.counters):
-                if tracing:
+            produced = plan.execute(self.working, self.counters)
+            if tracing:
+                produced = list(produced)
+                for fact in produced:
                     tracer.rule_fired(self.tag, plan.label, fact)
-                if out.add(fact):
-                    self.counters.record_new(plan.label)
+            # Batch dedup against the output relation; the fresh facts
+            # (first-occurrence order) are exactly what gets routed.
+            fresh = out.add_new_many(produced)
+            if fresh:
+                self.counters.record_new(plan.label, len(fresh))
+                for fact in fresh:
                     emissions.append((pred, fact))
         return emissions
 

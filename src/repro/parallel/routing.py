@@ -273,15 +273,20 @@ class RouterTable:
             if kernel.unchecked and len(kernel.positions) == 1:
                 # Point-to-point fast path: single discriminating
                 # position, no pattern constraints (the common
-                # hash-partitioned case, e.g. Example 3).
+                # hash-partitioned case, e.g. Example 3).  The
+                # discriminating column is gathered in one pass and
+                # mapped to targets as a whole batch
+                # (``Discriminator.map_column``), then the facts are
+                # dealt into buckets by zipping fact against target —
+                # one pass over flat arrays instead of per-fact method
+                # dispatch.
                 position = kernel.positions[0]
-                discriminator = kernel.discriminator
-                for fact in facts:
-                    if len(fact) != arity:
-                        continue
-                    try:
-                        target = discriminator((fact[position],))
-                    except RoutingError:
+                if any(len(fact) != arity for fact in facts):
+                    facts = [fact for fact in facts if len(fact) == arity]
+                column = [fact[position] for fact in facts]
+                targets = kernel.discriminator.map_column(column)
+                for fact, target in zip(facts, targets):
+                    if target is None:
                         continue
                     bucket = buckets.get(target)
                     if bucket is None:

@@ -52,6 +52,7 @@ from typing import (Dict, Hashable, List, Mapping, Optional, Sequence, Set,
 from ..engine.counters import EvalCounters
 from ..errors import ExecutionError
 from ..facts.database import Database
+from ..facts.backend import make_relation
 from ..facts.relation import Fact, Relation
 from ..network.netgraph import NetworkGraph
 from ..obs.tracer import Tracer, ensure_tracer
@@ -787,7 +788,7 @@ class SimulatedCluster:
         output = Database()
         for predicate in self.program.derived:
             arity = self.program.program_for(self._order[0]).arities[predicate]
-            pooled = Relation(predicate, arity)
+            pooled = make_relation(predicate, arity)
             for proc in self._order:
                 pooled.update(self.runtimes[proc].output_relation(predicate))
                 self.metrics.pooled_tuples += len(

@@ -1,0 +1,53 @@
+"""Bench integration of the columnar fact backend."""
+
+from repro.bench.perf import machine_fingerprint, run_scenario
+from repro.bench.scenarios import (
+    PerfScenario,
+    default_matrix,
+    find_scenario,
+    smoke_matrix,
+)
+from repro.facts import fact_backend
+
+
+class TestBackendScenarios:
+    def test_matrices_carry_columnar_variants(self):
+        for matrix in (default_matrix(), smoke_matrix()):
+            backends = {scenario.backend for scenario in matrix}
+            assert backends == {"tuple", "columnar"}
+            names = [scenario.name for scenario in matrix]
+            assert len(names) == len(set(names))
+
+    def test_columnar_scenarios_named_consistently(self):
+        for scenario in default_matrix() + smoke_matrix():
+            assert (scenario.backend == "columnar") == (
+                scenario.name.endswith("-columnar"))
+
+    def test_describe_mentions_backend(self):
+        scenario = find_scenario("engine-seminaive-chain-96-columnar")
+        assert "backend=columnar" in scenario.describe()
+        assert "backend=" not in find_scenario(
+            "engine-seminaive-chain-96").describe()
+
+    def test_fingerprint_records_backend(self):
+        assert machine_fingerprint()["fact_backend"] == fact_backend()
+
+    def test_columnar_record_carries_backend_ab(self):
+        scenario = PerfScenario(
+            name="engine-tiny-columnar", kind="engine", workload="chain",
+            size=24, method="seminaive", backend="columnar")
+        before = fact_backend()
+        record = run_scenario(scenario, repeats=1, warmup=0)
+        assert record["backend"] == "columnar"
+        assert "backend_wall_seconds" in record
+        assert "backend_speedup" in record
+        # The backend must not leak out of the measurement.
+        assert fact_backend() == before
+
+    def test_tuple_record_has_no_backend_ab(self):
+        scenario = PerfScenario(
+            name="engine-tiny-tuple", kind="engine", workload="chain",
+            size=24, method="seminaive")
+        record = run_scenario(scenario, repeats=1, warmup=0)
+        assert record["backend"] == "tuple"
+        assert "backend_wall_seconds" not in record

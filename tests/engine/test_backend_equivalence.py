@@ -1,0 +1,87 @@
+"""Property tests: the columnar backend is invisible to the engine.
+
+For any program, data, backend and join-kernel setting, evaluation must
+produce the same answers, the same firings and the same probe counts —
+the backend-selection matrix of docs/DATA_PLANE.md.  Divergence here
+would silently invalidate every cross-backend bench comparison.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EvalCounters, evaluate, set_join_kernel
+from repro.facts import Database, set_fact_backend
+from repro.workloads import (
+    ancestor_program,
+    nonlinear_ancestor_program,
+    same_generation_program,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(1, 12), st.integers(1, 12)),
+    min_size=0, max_size=40).map(lambda edges: sorted(set(edges)))
+
+
+def _evaluate_under(backend, kernel, program, relations, method):
+    previous_backend = set_fact_backend(backend)
+    previous_kernel = set_join_kernel(kernel)
+    try:
+        database = Database()
+        for name, facts in relations.items():
+            database.declare(name, 2).update(facts)
+        counters = EvalCounters()
+        result = evaluate(program, database, method=method,
+                          counters=counters)
+        answers = {pred: result.relation(pred).as_set()
+                   for pred in program.derived_predicates}
+        return answers, counters
+    finally:
+        set_join_kernel(previous_kernel)
+        set_fact_backend(previous_backend)
+
+
+def _assert_all_backends_agree(program, relations, method="seminaive"):
+    reference = None
+    for backend in ("tuple", "columnar"):
+        for kernel in (True, False):
+            answers, counters = _evaluate_under(
+                backend, kernel, program, relations, method)
+            observed = (answers, counters.total_firings(), counters.probes,
+                        counters.iterations)
+            if reference is None:
+                reference = observed
+            else:
+                assert observed == reference, (backend, kernel)
+
+
+class TestBackendKernelEquivalence:
+    @given(edge_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_ancestor(self, edges):
+        _assert_all_backends_agree(ancestor_program(), {"par": edges})
+
+    @given(edge_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_nonlinear_ancestor(self, edges):
+        _assert_all_backends_agree(nonlinear_ancestor_program(),
+                                   {"par": edges})
+
+    @given(edge_lists, edge_lists, edge_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_same_generation(self, up, down, flat):
+        _assert_all_backends_agree(
+            same_generation_program(),
+            {"up": up, "down": down, "flat": flat})
+
+    @given(edge_lists)
+    @settings(max_examples=10, deadline=None)
+    def test_naive_method(self, edges):
+        _assert_all_backends_agree(ancestor_program(), {"par": edges},
+                                   method="naive")
+
+    @pytest.mark.parametrize("method", ["seminaive", "naive"])
+    def test_chain_exact(self, method):
+        edges = [(i, i + 1) for i in range(1, 30)]
+        _assert_all_backends_agree(ancestor_program(), {"par": edges},
+                                   method=method)

@@ -1,0 +1,59 @@
+"""Tests for the process-wide constant interner."""
+
+import pytest
+
+from repro.facts import ConstantInterner, global_interner, reset_global_interner
+
+
+class TestConstantInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = ConstantInterner()
+        first = interner.intern("a")
+        second = interner.intern("b")
+        assert (first, second) == (0, 1)
+        assert interner.intern("a") == first
+        assert len(interner) == 2
+
+    def test_value_round_trip(self):
+        interner = ConstantInterner()
+        values = ["x", 7, (1, 2), None, 3.5]
+        ids = [interner.intern(value) for value in values]
+        assert [interner.value_of(i) for i in ids] == values
+
+    def test_intern_many_and_decode_many(self):
+        interner = ConstantInterner()
+        values = ["a", "b", "a", 9]
+        ids = interner.intern_many(values)
+        assert ids[0] == ids[2]
+        assert interner.decode_many(ids) == values
+
+    def test_intern_fact(self):
+        interner = ConstantInterner()
+        encoded = interner.intern_fact(("a", 1))
+        assert interner.decode_many(encoded) == ["a", 1]
+
+    def test_contains(self):
+        interner = ConstantInterner()
+        interner.intern("present")
+        assert "present" in interner
+        assert "absent" not in interner
+
+    def test_distinct_values_distinct_ids(self):
+        interner = ConstantInterner()
+        ids = {interner.intern(value) for value in range(100)}
+        assert len(ids) == 100
+
+    def test_unknown_id_raises(self):
+        interner = ConstantInterner()
+        with pytest.raises(IndexError):
+            interner.value_of(0)
+
+    def test_global_interner_is_process_wide(self):
+        reset_global_interner()
+        try:
+            assert global_interner() is global_interner()
+            before = len(global_interner())
+            global_interner().intern(object())
+            assert len(global_interner()) == before + 1
+        finally:
+            reset_global_interner()
