@@ -32,8 +32,12 @@ __all__ = ["ComparisonResult", "MetricDelta", "compare_reports"]
 # threshold-gated, not exact, because mp burst boundaries (and hence
 # message counts) are timing-dependent; reports predating the channel
 # counters simply skip them (absent on either side -> not compared).
+# `restarts`/`recovery_replayed_facts` gate the recovery scenarios: a
+# restart-count increase means the fault schedule changed, a replay
+# blow-up means sent-log truncation stopped working.
 _COST_COUNTERS = ("firings", "probes", "iterations", "tuples_sent", "rounds",
-                  "channel_messages", "channel_bytes", "ticks", "stalled")
+                  "channel_messages", "channel_bytes", "ticks", "stalled",
+                  "restarts", "recovery_replayed_facts")
 _EXACT_COUNTERS = ("facts_out",)
 
 # mp burst boundaries move run to run, so an mp scenario's message count
@@ -42,7 +46,7 @@ _EXACT_COUNTERS = ("facts_out",)
 # it up by an order of magnitude.  Gate with generous slack instead of
 # the tight threshold; simulator message counts are deterministic and
 # get no slack.
-_TIMING_DEPENDENT = ("channel_messages",)
+_TIMING_DEPENDENT = ("channel_messages", "recovery_replayed_facts")
 _MP_TIMING_SLACK = 1.0  # extra allowed fraction on top of the threshold
 
 

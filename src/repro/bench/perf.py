@@ -150,10 +150,22 @@ def _run_mp_once(scenario: PerfScenario, workload,
                  parallel_program) -> Tuple[float, Dict]:
     from ..parallel.mp import run_multiprocessing
 
+    faults = None
+    kwargs: Dict[str, object] = {}
+    if scenario.recovery is not None:
+        from ..parallel.faults import build_fault_plan
+
+        # The recovery study: SIGKILL worker "1" at a fixed firing
+        # count, then measure what getting back to the exact answer
+        # costs under the scenario's policy.
+        faults = build_fault_plan([f"kill:1@{scenario.kill_at}"])
+        kwargs = {"recovery": scenario.recovery,
+                  "checkpoint_interval": scenario.checkpoint_interval}
     started = time.perf_counter()
     result = run_multiprocessing(parallel_program, workload.database,
                                  sync=scenario.sync,
-                                 staleness=scenario.staleness)
+                                 staleness=scenario.staleness,
+                                 faults=faults, **kwargs)
     wall = time.perf_counter() - started
     metrics = result.metrics
     counters = {
@@ -166,6 +178,16 @@ def _run_mp_once(scenario: PerfScenario, workload,
         "channel_bytes": metrics.total_channel_bytes(),
         "facts_out": _facts_total(result.output, parallel_program.derived),
     }
+    if scenario.recovery is not None:
+        counters["restarts"] = result.restarts
+        # Replay volume moves with where the death lands relative to
+        # burst/checkpoint boundaries; compare gates it with mp slack.
+        counters["recovery_replayed_facts"] = metrics.recovery_replayed_facts
+        # Wall-clock-derived: recorded for the record, never gated.
+        counters["recovery_seconds"] = metrics.summary()["recovery_seconds"]
+        if scenario.recovery == "checkpoint":
+            counters["checkpoint_bytes"] = metrics.checkpoint_bytes
+            counters["log_truncated"] = metrics.log_truncated
     return wall, counters
 
 

@@ -54,6 +54,16 @@ class PerfScenario:
             see :mod:`repro.facts.backend`).  Columnar scenarios are
             additionally measured under the tuple backend so the
             speedup is recorded next to the number it produced.
+        recovery: optional recovery policy for ``kind="mp"``
+            (``"restart"`` or ``"checkpoint"``); enables the injected
+            kill below, so the scenario measures the *recovery* path.
+            ``None`` (the default) keeps pre-recovery records
+            comparable.
+        kill_at: firing count at which the injected kill SIGKILLs the
+            victim worker (processor tag ``"1"``); only meaningful
+            with ``recovery``.
+        checkpoint_interval: bursts between checkpoints for
+            ``recovery="checkpoint"`` scenarios.
     """
 
     name: str
@@ -67,6 +77,9 @@ class PerfScenario:
     sync: str = "bsp"
     staleness: int = 2
     backend: str = "tuple"
+    recovery: Optional[str] = None
+    kill_at: Optional[int] = None
+    checkpoint_interval: int = 2
 
     def build_workload(self) -> Workload:
         """Materialise the seeded workload."""
@@ -80,6 +93,8 @@ class PerfScenario:
             detail = f"scheme={self.scheme} n={self.processors}"
         if self.backend != "tuple":
             detail += f" backend={self.backend}"
+        if self.recovery is not None:
+            detail += f" recovery={self.recovery} kill@{self.kill_at}"
         return (f"{self.kind:9s} {self.workload}-{self.size} "
                 f"seed={self.seed} {detail}")
 
@@ -126,16 +141,19 @@ def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
 
 
 def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
-        seed: int = 0, backend: str = "tuple") -> PerfScenario:
+        seed: int = 0, backend: str = "tuple",
+        recovery: Optional[str] = None,
+        kill_at: Optional[int] = None) -> PerfScenario:
     return PerfScenario(name=name, kind="mp", workload=workload, size=size,
                         seed=seed, scheme=scheme, processors=processors,
-                        backend=backend)
+                        backend=backend, recovery=recovery, kill_at=kill_at)
 
 
 def default_matrix() -> Tuple[PerfScenario, ...]:
     """The full measured trajectory: engine × workloads, simulator and
-    mp × schemes × 2–8 processors, the skewed BSP/SSP study, plus the
-    columnar-backend variants of the hottest scenarios (26 scenarios)."""
+    mp × schemes × 2–8 processors, the skewed BSP/SSP study, the
+    columnar-backend variants of the hottest scenarios, plus the paired
+    restart-vs-checkpoint recovery study (28 scenarios)."""
     return (
         # Sequential engine: the join kernel's direct exposure.
         _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
@@ -185,6 +203,18 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
             backend="columnar"),
         _mp("mp-example2-tree-64-n4-columnar", "tree", 64, "example2", 4,
             backend="columnar"),
+        # Recovery study (docs/FAULT_TOLERANCE.md): the same workload,
+        # the same mid-run SIGKILL, two recovery policies.  The paired
+        # records expose recovery_replayed_facts / recovery_seconds, so
+        # the checkpoint path's claim — strictly less replay than
+        # respawn-from-base — is a gated number, not prose.  The chain
+        # workload runs in many small bursts, the regime checkpointing
+        # targets: the victim has shipped several snapshots before the
+        # late kill lands, so peers' sent-logs are mostly truncated.
+        _mp("mp-recovery-restart-chain-96-n3", "chain", 96, "example3", 3,
+            recovery="restart", kill_at=400),
+        _mp("mp-recovery-checkpoint-chain-96-n3", "chain", 96, "example3", 3,
+            recovery="checkpoint", kill_at=400),
     )
 
 

@@ -6,7 +6,11 @@ Usage (also available as ``python -m repro``)::
     repro parallel program.dl --scheme example3 -n 4 [--facts facts.dl]
                    [--keep 0.5] [--mp] [--detect-termination] [--stats]
                    [--trace run.jsonl] [--delay-prob 0.2] [--seed 7]
-                   [--inject-fault kill:p1@50] [--recovery restart]
+                   [--inject-fault kill:p1@50] [--recovery checkpoint]
+                   [--max-restarts 3] [--checkpoint-interval 4]
+                   [--ack-deadline 20]
+    repro chaos [--seeds 20] [--start-seed 0] [--timeout 60]
+                   [--max-restarts 4] [--checkpoint-interval 2]
     repro trace run.jsonl [--json] [--send-cost 1.0] [--recv-cost 1.0]
     repro network program.dl [--positions 1,2] [--linear 1,-1,1]
                    [--g-range 2]
@@ -119,6 +123,10 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
             f"--delay-prob must be in [0, 1), got {args.delay_prob}: "
             "at 1 every tuple is re-delayed forever and the run never "
             "quiesces")
+    if args.recovery == "checkpoint" and not args.mp:
+        raise ReproError(
+            "--recovery checkpoint needs real worker processes to "
+            "snapshot; add --mp (the simulator supports fail/restart)")
     program, database = _load(args.program, args.facts)
     parallel_program = _build_scheme(args, program, database)
     mode = (f"{args.sync}(staleness={args.staleness})"
@@ -154,7 +162,11 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
                                          timeout=args.timeout, tracer=tracer,
                                          recovery=args.recovery,
                                          faults=faults, sync=args.sync,
-                                         staleness=args.staleness)
+                                         staleness=args.staleness,
+                                         max_restarts=args.max_restarts,
+                                         checkpoint_interval=
+                                         args.checkpoint_interval,
+                                         ack_timeout=args.ack_deadline)
             print(f"\nreal multiprocessing run: "
                   f"{result.wall_seconds:.2f}s wall")
             if result.restarts:
@@ -194,6 +206,21 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
         if not matches:
             return 1
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .parallel.chaos import run_chaos, summarize
+
+    if args.seeds < 1:
+        raise ReproError(f"--seeds must be >= 1, got {args.seeds}")
+    outcomes = run_chaos(seeds=args.seeds, start_seed=args.start_seed,
+                         timeout=args.timeout,
+                         max_restarts=args.max_restarts,
+                         checkpoint_interval=args.checkpoint_interval,
+                         progress=lambda line: print(line, flush=True))
+    print()
+    print(summarize(outcomes))
+    return 0 if all(outcome.ok for outcome in outcomes) else 1
 
 
 def _parse_int_list(text: str) -> Tuple[int, ...]:
@@ -381,11 +408,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="inject a fault: kill:<tag>@<firings> (e.g. "
                           "kill:p1@50), drop:<prob>, delay:<prob> or "
                           "dup:<prob>, optionally @<src>-><dst>; repeatable")
-    par.add_argument("--recovery", choices=("fail", "restart"),
+    par.add_argument("--recovery", choices=("fail", "restart", "checkpoint"),
                      default="fail",
                      help="what to do when a worker dies: fail fast with a "
-                          "precise error, or restart it from its base "
-                          "fragment and replay peer sent-logs")
+                          "precise error, restart it from its base fragment "
+                          "and replay peer sent-logs, or (--mp only) resume "
+                          "it from its last coordinator-held checkpoint and "
+                          "replay only unacknowledged suffixes")
+    par.add_argument("--max-restarts", type=int, default=3,
+                     help="total worker restarts allowed per run before the "
+                          "recovery policy gives up (>= 0)")
+    par.add_argument("--checkpoint-interval", type=int, default=4,
+                     help="bursts between worker checkpoints under "
+                          "--recovery checkpoint (>= 1; ignored otherwise)")
+    par.add_argument("--ack-deadline", type=float, default=None,
+                     help="seconds a live worker may go without acking a "
+                          "probe before the run is declared wedged "
+                          "(default: derived from processor count and, "
+                          "under ssp, the staleness bound)")
     par.add_argument("--trace", metavar="PATH",
                      help="write a JSONL event trace to PATH")
     par.add_argument("--timeout", type=float, default=120.0)
@@ -421,6 +461,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     wl = commands.add_parser("workloads", help="list built-in workloads")
     wl.set_defaults(func=_cmd_workloads)
+
+    chaos = commands.add_parser(
+        "chaos", help="soak the mp executor under seeded random fault "
+                      "schedules; every case must match sequential "
+                      "evaluation exactly")
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of consecutive seeds to soak")
+    chaos.add_argument("--start-seed", type=int, default=0,
+                       help="first seed (replay a failure by pinning it "
+                            "here with --seeds 1)")
+    chaos.add_argument("--timeout", type=float, default=60.0,
+                       help="per-case wall-clock budget in seconds")
+    chaos.add_argument("--max-restarts", type=int, default=4,
+                       help="per-case worker restart budget")
+    chaos.add_argument("--checkpoint-interval", type=int, default=2,
+                       help="bursts between checkpoints on the checkpoint-"
+                            "recovery cases")
+    chaos.set_defaults(func=_cmd_chaos)
 
     bench = commands.add_parser(
         "bench", help="measure, compare and profile performance baselines")

@@ -82,6 +82,22 @@ class EvalCounters:
             "total_firings": self.total_firings(),
         }
 
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "EvalCounters":
+        """Rebuild counters from an :meth:`as_dict` snapshot.
+
+        Used by checkpoint restore: a worker resumed from a checkpoint
+        does not re-derive its checkpointed facts, so its predecessor's
+        counters must carry over for the cluster total (and hence the
+        firings-identical-to-sequential property) to hold.
+        """
+        counters = EvalCounters()
+        counters.firings = Counter(payload.get("firings", {}))
+        counters.new_facts = Counter(payload.get("new_facts", {}))
+        counters.probes = int(payload.get("probes", 0))
+        counters.iterations = int(payload.get("iterations", 0))
+        return counters
+
     def __repr__(self) -> str:
         return (f"EvalCounters(firings={self.total_firings()}, "
                 f"new={self.total_new()}, probes={self.probes}, "

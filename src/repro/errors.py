@@ -18,6 +18,7 @@ __all__ = [
     "RoutingError",
     "NetworkDerivationError",
     "ExecutionError",
+    "ConfigurationError",
 ]
 
 
@@ -79,3 +80,13 @@ class NetworkDerivationError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised when a parallel execution fails or does not terminate cleanly."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a run is configured with an invalid parameter value.
+
+    Examples: a negative restart budget, a zero checkpoint interval, or
+    a non-positive ack deadline.  Distinct from :class:`ExecutionError`
+    so CLI callers can tell "you asked for something impossible" from
+    "the run itself went wrong".
+    """

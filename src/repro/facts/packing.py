@@ -35,7 +35,10 @@ from .relation import Fact
 
 __all__ = [
     "PACKED_TAG",
+    "PACK_MIN_FACTS",
+    "ensure_facts",
     "is_packed",
+    "maybe_pack",
     "pack_facts",
     "packed_fact_count",
     "unpack_facts",
@@ -111,6 +114,30 @@ def is_packed(payload: object) -> bool:
 def packed_fact_count(payload: Tuple) -> int:
     """Number of facts in a packed payload, without decoding it."""
     return payload[1]
+
+
+# Below this many facts the packed framing costs more than it saves,
+# so senders (mp data messages, checkpoint payloads) ship the plain
+# list.  Shared here so every producer breaks even at the same point.
+PACK_MIN_FACTS = 8
+
+
+def maybe_pack(facts: Sequence[Fact], min_facts: int = PACK_MIN_FACTS):
+    """Pack ``facts`` when the batch is big enough to profit.
+
+    Returns either a packed payload or the fact list unchanged; decode
+    either with :func:`ensure_facts`.
+    """
+    if len(facts) >= min_facts:
+        return pack_facts(facts)
+    return list(facts)
+
+
+def ensure_facts(payload) -> List[Fact]:
+    """Decode a wire payload (packed or plain) back to a fact list."""
+    if is_packed(payload):
+        return unpack_facts(payload)
+    return list(payload)
 
 
 def unpack_facts(payload: Tuple) -> List[Fact]:

@@ -18,9 +18,12 @@ existing queue protocol.
 """
 
 from .events import (
+    CHECKPOINT,
     EVENT_KINDS,
+    LOG_TRUNCATE,
     PROBE,
     REPLAY,
+    RESTORE,
     ROUND_END,
     ROUND_START,
     RULE_FIRED,
@@ -50,13 +53,16 @@ from .tracer import NULL_TRACER, NullTracer, Tracer, ensure_tracer
 
 __all__ = [
     "AggregateSink",
+    "CHECKPOINT",
     "EVENT_KINDS",
     "InMemorySink",
     "JsonlSink",
+    "LOG_TRUNCATE",
     "NULL_TRACER",
     "NullTracer",
     "PROBE",
     "REPLAY",
+    "RESTORE",
     "ROUND_END",
     "ROUND_START",
     "RULE_FIRED",

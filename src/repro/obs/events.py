@@ -17,9 +17,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 __all__ = [
+    "CHECKPOINT",
     "EVENT_KINDS",
+    "LOG_TRUNCATE",
     "PROBE",
     "REPLAY",
+    "RESTORE",
     "ROUND_END",
     "ROUND_START",
     "RULE_FIRED",
@@ -52,13 +55,16 @@ WORKER_DOWN = "worker_down"
 WORKER_RESTART = "worker_restart"
 WORKER_STALLED = "worker_stalled"
 REPLAY = "replay"
+CHECKPOINT = "checkpoint"
+RESTORE = "restore"
+LOG_TRUNCATE = "log_truncate"
 SPAN = "span"
 
 EVENT_KINDS = frozenset({
     RUN_START, RUN_END, ROUND_START, ROUND_END, RULE_FIRED,
     TUPLE_SENT, TUPLE_RECEIVED, TUPLE_DROPPED, PROBE,
     WORKER_SPAWN, WORKER_EXIT, WORKER_DOWN, WORKER_RESTART,
-    WORKER_STALLED, REPLAY, SPAN,
+    WORKER_STALLED, REPLAY, CHECKPOINT, RESTORE, LOG_TRUNCATE, SPAN,
 })
 
 # Keys of the flat dict form that are *not* payload entries.

@@ -19,8 +19,11 @@ if TYPE_CHECKING:  # import lazily at runtime: obs must not depend on parallel
     from ..parallel.metrics import CostModel
 
 from .events import (
+    CHECKPOINT,
+    LOG_TRUNCATE,
     PROBE,
     REPLAY,
+    RESTORE,
     ROUND_END,
     RULE_FIRED,
     RUN_START,
@@ -79,6 +82,12 @@ class TraceReport:
         restarts: per-processor count of recovery restarts.
         replayed: per-processor count of tuples re-sent during replay
             (attributed to the replaying sender).
+        checkpoints: per-processor count of checkpoints shipped.
+        checkpoint_bytes: per-processor approx checkpoint payload bytes.
+        restores: per-processor count of restarts that resumed from a
+            checkpoint instead of the base fragment.
+        log_truncated: per-processor count of sent-log facts dropped
+            after a peer's checkpoint watermark covered them.
     """
 
     def __init__(self, events: Sequence[TraceEvent]) -> None:
@@ -102,6 +111,10 @@ class TraceReport:
         self.worker_downs: Counter = Counter()
         self.restarts: Counter = Counter()
         self.replayed: Counter = Counter()
+        self.checkpoints: Counter = Counter()
+        self.checkpoint_bytes: Counter = Counter()
+        self.restores: Counter = Counter()
+        self.log_truncated: Counter = Counter()
         seen_procs: List[str] = []
         for event in self.events:
             proc = event.proc if event.proc is not None else "seq"
@@ -147,6 +160,13 @@ class TraceReport:
                 self.restarts[proc] += 1
             elif event.kind == REPLAY:
                 self.replayed[proc] += int(event.data.get("count", 0))  # type: ignore[call-overload]
+            elif event.kind == CHECKPOINT:
+                self.checkpoints[proc] += 1
+                self.checkpoint_bytes[proc] += int(event.data.get("nbytes", 0))  # type: ignore[call-overload]
+            elif event.kind == RESTORE:
+                self.restores[proc] += 1
+            elif event.kind == LOG_TRUNCATE:
+                self.log_truncated[proc] += int(event.data.get("count", 0))  # type: ignore[call-overload]
         # Stable processor order: first appearance wins.
         for proc in seen_procs:
             if proc not in self.processors:
@@ -233,6 +253,10 @@ class TraceReport:
             "worker_down": sum(self.worker_downs.values()),
             "restarts": sum(self.restarts.values()),
             "replayed": sum(self.replayed.values()),
+            "checkpoints": sum(self.checkpoints.values()),
+            "checkpoint_bytes": sum(self.checkpoint_bytes.values()),
+            "restores": sum(self.restores.values()),
+            "log_truncated": sum(self.log_truncated.values()),
             "makespan": self.makespan(),
         }
 
@@ -301,9 +325,10 @@ class TraceReport:
     def fault_log(self) -> str:
         """Chronological narrative of failure/recovery events.
 
-        Lists every ``worker_down`` / ``worker_restart`` / ``replay``
-        event in stream order, so a traced run under fault injection can
-        be audited step by step.
+        Lists every ``worker_down`` / ``worker_restart`` / ``replay`` /
+        ``checkpoint`` / ``restore`` / ``log_truncate`` event in stream
+        order, so a traced run under fault injection can be audited
+        step by step.
         """
         lines: List[str] = []
         for event in self.events:
@@ -322,6 +347,19 @@ class TraceReport:
                 dst = event.data.get("dst", "?")
                 count = event.data.get("count", "?")
                 lines.append(f"  REPLAY   {proc} -> {dst}  ({count} tuples)")
+            elif event.kind == CHECKPOINT:
+                facts = event.data.get("facts", "?")
+                nbytes = event.data.get("nbytes", "?")
+                lines.append(f"  CHECKPT  {proc}  ({facts} facts, "
+                             f"~{nbytes} bytes)")
+            elif event.kind == RESTORE:
+                facts = event.data.get("facts", "?")
+                lines.append(f"  RESTORE  {proc}  ({facts} facts "
+                             f"from checkpoint)")
+            elif event.kind == LOG_TRUNCATE:
+                dst = event.data.get("dst", "?")
+                count = event.data.get("count", "?")
+                lines.append(f"  TRUNCATE {proc} -> {dst}  ({count} tuples)")
         if not lines:
             return "(no failures)"
         return "\n".join(lines)
@@ -345,7 +383,8 @@ class TraceReport:
             "channel heatmap (tuples sent, sender rows -> receiver columns):",
             self.channel_heatmap(),
         ]
-        if self.worker_downs or self.restarts or self.replayed:
+        if (self.worker_downs or self.restarts or self.replayed
+                or self.checkpoints or self.restores or self.log_truncated):
             parts.extend(["", "failures and recovery:", self.fault_log()])
         breakdown = self.makespan_breakdown(cost)
         if breakdown:

@@ -23,8 +23,11 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from .events import (
+    CHECKPOINT,
+    LOG_TRUNCATE,
     PROBE,
     REPLAY,
+    RESTORE,
     ROUND_END,
     ROUND_START,
     RULE_FIRED,
@@ -88,10 +91,15 @@ class Tracer:
     # Typed events
     # ------------------------------------------------------------------
     def run_start(self, scheme: str, processors: Sequence[str],
-                  executor: str) -> None:
-        """A run begins (``executor``: simulator / mp / sequential)."""
+                  executor: str, **data: object) -> None:
+        """A run begins (``executor``: simulator / mp / sequential).
+
+        Extra payload entries record resolved run configuration — the
+        mp executor logs its derived ack deadline and recovery policy
+        here so a trace shows which values the run actually used.
+        """
         self.emit(RUN_START, scheme=scheme, processors=list(processors),
-                  executor=executor)
+                  executor=executor, **data)
 
     def run_end(self, **data: object) -> None:
         """A run completed; payload carries final aggregates."""
@@ -173,6 +181,25 @@ class Tracer:
     def replay(self, proc: str, dst: str, count: int) -> None:
         """``proc`` re-sent its logged tuples to a restarted ``dst``."""
         self.emit(REPLAY, proc=proc, dst=dst, count=count)
+
+    def checkpoint(self, proc: str, facts: int, nbytes: int,
+                   epoch: int) -> None:
+        """``proc`` shipped a checkpoint (``facts`` tuples, approx
+        ``nbytes`` under the deterministic size model) to the
+        coordinator's slot for it."""
+        self.emit(CHECKPOINT, proc=proc, facts=facts, nbytes=nbytes,
+                  epoch=epoch)
+
+    def restore(self, proc: str, facts: int, epoch: int) -> None:
+        """A restarted ``proc`` resumed from its last checkpoint instead
+        of its base fragment."""
+        self.emit(RESTORE, proc=proc, facts=facts, epoch=epoch)
+
+    def log_truncate(self, proc: str, dst: str, count: int) -> None:
+        """``proc`` dropped ``count`` acknowledged facts from its
+        sent-log for ``dst`` (they are covered by ``dst``'s checkpoint
+        watermark and will never need replaying)."""
+        self.emit(LOG_TRUNCATE, proc=proc, dst=dst, count=count)
 
     # ------------------------------------------------------------------
     # Spans

@@ -1,5 +1,6 @@
 """The parallel framework: discriminating functions, rewrites, execution."""
 
+from .chaos import ChaosCase, ChaosOutcome, run_chaos
 from .constraints import HashConstraint
 from .discriminating import (
     ConstantDiscriminator,
@@ -49,6 +50,8 @@ from .simulator import ParallelResult, SimulatedCluster, run_parallel
 
 __all__ = [
     "BROADCAST",
+    "ChaosCase",
+    "ChaosOutcome",
     "ConstantDiscriminator",
     "CostModel",
     "ChannelFault",
@@ -89,6 +92,7 @@ __all__ = [
     "rewrite_linear_sirup",
     "route_kernel_enabled",
     "route_positions",
+    "run_chaos",
     "run_parallel",
     "set_route_kernel",
     "stable_hash",

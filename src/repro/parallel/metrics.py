@@ -175,6 +175,20 @@ class ParallelMetrics:
     control_messages: int = 0
     detection_rounds: int = 0
     restarts: int = 0
+    # Recovery accounting (mp executor, recovery="restart"/"checkpoint").
+    # ``recovery_seconds`` is wall time from each death detection to the
+    # first fully-acked probe wave of the new epoch, summed over
+    # recoveries; ``recovery_replayed_facts`` is the total facts peers
+    # re-sent while serving replays; ``checkpoint_bytes`` the approximate
+    # size (deterministic model above) of every checkpoint shipped;
+    # ``log_truncated`` the sent-log facts reclaimed by watermark
+    # truncation; ``retried`` the drop-faulted facts healed by the
+    # reliable retry path.
+    recovery_seconds: float = 0.0
+    recovery_replayed_facts: int = 0
+    checkpoint_bytes: int = 0
+    log_truncated: int = 0
+    retried: int = 0
     per_round_work: List[Dict[ProcessorId, float]] = field(default_factory=list)
     per_round_sent: List[Dict[ProcessorId, int]] = field(default_factory=list)
     per_round_received: List[Dict[ProcessorId, int]] = field(default_factory=list)
@@ -338,4 +352,9 @@ class ParallelMetrics:
             "load_balance": round(self.load_balance(), 4),
             "restarts": self.restarts,
             "replayed": sum(self.replayed.values()),
+            "recovery_seconds": round(self.recovery_seconds, 4),
+            "recovery_replayed_facts": self.recovery_replayed_facts,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "log_truncated": self.log_truncated,
+            "retried": self.retried,
         }

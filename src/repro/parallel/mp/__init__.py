@@ -1,14 +1,21 @@
 """Real multiprocessing execution of rewritten programs.
 
 One OS process per processor, one queue per channel, a Mattern-style
-counting double-probe for quiescence, and a restart-and-replay fault
-tolerance layer (``recovery="restart"``) backed by Theorem 1 plus
-Datalog's monotonicity.  The protocol and its invariants are documented
-in :mod:`.protocol`; liveness detection and recovery live in
-:mod:`.runner`; the per-process loop and sent-logs in :mod:`.worker`.
+counting double-probe for quiescence, and a fault tolerance layer
+backed by Theorem 1 plus Datalog's monotonicity: restart-and-replay
+from the base fragment (``recovery="restart"``) or from periodic
+coordinator-held snapshots with sent-log truncation at the
+acknowledged watermarks (``recovery="checkpoint"``), under a restart
+budget with per-worker exponential backoff.  The protocol and its
+invariants are documented in :mod:`.protocol`; liveness detection,
+recovery and the derived ack deadlines live in :mod:`.runner`; the
+per-process loop, sent-logs and retry path in :mod:`.worker`; the
+snapshot payload format in :mod:`.checkpoint` (see also
+``docs/FAULT_TOLERANCE.md``).
 """
 
 from .protocol import WorkerStats
-from .runner import MPResult, run_multiprocessing
+from .runner import MPResult, default_ack_deadline, run_multiprocessing
 
-__all__ = ["MPResult", "WorkerStats", "run_multiprocessing"]
+__all__ = ["MPResult", "WorkerStats", "default_ack_deadline",
+           "run_multiprocessing"]

@@ -4,7 +4,7 @@ Messages are plain picklable tuples; the first element is a tag.
 
 Data plane (worker → worker):
 
-* ``("data", sender, pairs, epoch)`` — tuples on a channel (the
+* ``("data", sender, pairs, epoch, stamp)`` — tuples on a channel (the
   paper's ``t_ij`` predicates), coalesced: ``pairs`` is a list of
   ``(predicate, facts)`` groups, so one message (one queue put, one
   pickle) can carry a whole step burst's output for the peer across
@@ -17,7 +17,13 @@ Data plane (worker → worker):
   *recovery epoch* the sender was in when it *flushed* (see below);
   receivers always ingest the facts (monotonicity makes stale
   deliveries harmless) but count them toward quiescence only when the
-  epochs match.
+  epochs match.  ``stamp`` is the channel watermark stamp
+  ``(incarnation, seq)``: ``incarnation`` is the epoch the sending
+  worker was *spawned* in (strictly increasing over a processor's
+  successive incarnations) and ``seq`` a per-channel message counter,
+  so stamps are lexicographically monotone per channel; receivers keep
+  the maximum stamp dequeued per sender and publish it in their
+  checkpoints (see the checkpoint plane below).
 
 Control plane (coordinator ↔ worker):
 
@@ -50,8 +56,40 @@ Recovery plane (coordinator → worker, see :mod:`.runner`):
 
 * ``("reset", epoch)`` — a worker died and was restarted; survivors
   enter recovery epoch ``epoch`` and zero their quiescence counters.
-* ``("replay", target)`` — re-send every tuple ever sent to ``target``
-  (from the per-target sent-log) under the current epoch.
+* ``("replay", target)`` — re-send every tuple still held in the
+  per-target sent-log for ``target`` under the current epoch (the full
+  history under ``recovery="restart"``; the post-truncation suffix
+  under ``recovery="checkpoint"``).
+
+Checkpoint plane (``recovery="checkpoint"``, see :mod:`.checkpoint`):
+
+* ``("checkpoint", processor, payload)`` — worker → coordinator, a
+  self-contained snapshot of the worker's derived state (packed with
+  the column wire format), its cumulative counters, its own sent-log,
+  and its per-sender watermarks.  The coordinator keeps only the
+  latest payload per processor (checkpoints are cumulative, not
+  incremental) and fans the watermarks out as ``truncate`` messages.
+* ``("truncate", target, stamp)`` — coordinator → worker: ``target``'s
+  checkpoint acknowledged everything you sent it up to ``stamp``; drop
+  those facts from your sent-log for ``target``.
+
+Watermark/truncation invariant
+------------------------------
+
+A sender may truncate a log entry for ``target`` exactly when the fact
+is guaranteed to be inside ``target``'s last checkpoint.  The stamp
+machinery makes that checkable locally: queues are FIFO per channel and
+stamps are lexicographically monotone per channel (``incarnation``
+breaks ties across a sender's restarts — a dying worker flushes and
+closes its queues before exiting, so a successor's messages really do
+follow its predecessor's), hence every message with stamp ≤ the
+receiver's watermark was *dequeued* — and therefore staged or ingested
+— before the checkpoint snapshot was cut.  Log entries whose fact has
+not yet been carried by any enqueued message (buffered, delayed or
+dropped by an injected fault) hold no stamp and are never truncated, so
+the retry/replay paths still cover them.  Replay after truncation is
+unchanged code: "re-send the whole remaining log" is exactly "re-send
+the unacknowledged suffix".
 
 Quiescence invariant
 --------------------
@@ -140,6 +178,8 @@ __all__ = [
     "TRACE",
     "RESET",
     "REPLAY",
+    "CHECKPOINT",
+    "TRUNCATE",
     "WorkerStats",
     "typed_sort_key",
 ]
@@ -166,6 +206,8 @@ ERROR = "error"
 TRACE = "trace"
 RESET = "reset"
 REPLAY = "replay"
+CHECKPOINT = "checkpoint"
+TRUNCATE = "truncate"
 
 
 class WorkerStats:
@@ -192,8 +234,21 @@ class WorkerStats:
         duplicates_dropped: received tuples discarded as duplicates.
         self_delivered: tuples routed to the worker itself (no queue).
         replayed: tuples re-sent while serving ``replay`` requests.
+        retried: tuples re-sent by the reliable retry path after an
+            injected ``drop`` fault swallowed their first transmission
+            (faults apply to first transmissions only, so one retry
+            heals every drop).
         sent_log_facts: total facts held in the deduplicated per-peer
-            replay logs at exit (the bounded-memory satellite metric).
+            replay logs at exit (the bounded-memory satellite metric;
+            under ``recovery="checkpoint"`` truncation keeps this from
+            growing with total derived facts).
+        checkpoints: checkpoint payloads shipped to the coordinator.
+        checkpoint_bytes: approximate bytes of those payloads under the
+            deterministic size model.
+        log_truncated: sent-log facts dropped after a peer's checkpoint
+            watermark covered them.
+        restored_facts: facts loaded from a checkpoint at restore time
+            (0 unless this worker is a checkpoint-restored incarnation).
         throttle_waits: number of times the SSP staleness bound made
             the worker hold back a step it was otherwise ready to run
             (counted once per entry into the throttled state, not per
@@ -206,7 +261,9 @@ class WorkerStats:
     __slots__ = ("firings", "probes", "iterations", "sent_by_target",
                  "messages_by_target", "bytes_by_target", "received",
                  "duplicates_dropped", "self_delivered", "replayed",
-                 "sent_log_facts", "throttle_waits", "max_lag")
+                 "retried", "sent_log_facts", "throttle_waits", "max_lag",
+                 "checkpoints", "checkpoint_bytes", "log_truncated",
+                 "restored_facts")
 
     def __init__(self) -> None:
         self.firings: int = 0
@@ -219,9 +276,14 @@ class WorkerStats:
         self.duplicates_dropped: int = 0
         self.self_delivered: int = 0
         self.replayed: int = 0
+        self.retried: int = 0
         self.sent_log_facts: int = 0
         self.throttle_waits: int = 0
         self.max_lag: int = 0
+        self.checkpoints: int = 0
+        self.checkpoint_bytes: int = 0
+        self.log_truncated: int = 0
+        self.restored_facts: int = 0
 
     def total_sent(self) -> int:
         """Tuples this worker put on remote channels."""

@@ -31,11 +31,27 @@ the ``recovery`` policy:
   ask every survivor to replay its per-target sent-log to the newcomer.
   Re-derivation is idempotent and duplicates are discarded by the
   receiving step, so the recovered run's answer equals an undisturbed
-  one exactly.
+  one exactly;
+* ``"checkpoint"`` — like ``"restart"``, but workers additionally ship
+  a consistent snapshot of their derived state to the coordinator every
+  ``checkpoint_interval`` bursts (see :mod:`.checkpoint`).  A dead
+  worker respawns *from its last checkpoint* instead of its base
+  fragment, so it re-derives only the work since the snapshot; the
+  checkpoint's per-sender watermarks let every peer truncate its
+  sent-log down to the unacknowledged suffix, so replays shrink the
+  same way.  Answers and total firings still equal an undisturbed run.
 
-A worker that is alive but fails to ack for ``ack_timeout`` seconds is
+Every restart of the same worker after the first is preceded by an
+exponentially growing backoff sleep (base :data:`_BACKOFF_BASE`, cap
+:data:`_BACKOFF_CAP`), so a flapping processor cannot hot-loop the
+spawn path; the global ``max_restarts`` budget still bounds the total.
+
+A worker that is alive but fails to ack for the ack deadline is
 reported as wedged (that is a bug or a deadlock, not a crash — restart
-cannot be assumed safe, so this always raises).
+cannot be assumed safe, so this always raises).  The default deadline
+is not a constant: :func:`default_ack_deadline` scales it with the
+processor count and, under SSP, the staleness bound, and the resolved
+value is logged on the trace's ``run_start`` event.
 
 Python's GIL makes *thread*-level parallelism useless for this
 workload; separate processes sidestep it, at the cost of pickling
@@ -53,7 +69,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from ...errors import ExecutionError
+from ...errors import ConfigurationError, ExecutionError
 from ...facts.database import Database
 from ...facts.backend import fact_backend, make_relation
 from ...facts.packing import pack_facts
@@ -63,8 +79,10 @@ from ..faults import FaultPlan
 from ..metrics import ParallelMetrics
 from ..naming import processor_tag
 from ..plans import ParallelProgram
+from .checkpoint import approx_checkpoint_bytes
 from .protocol import (
     ACK,
+    CHECKPOINT,
     ERROR,
     PROBE,
     REPLAY,
@@ -72,14 +90,39 @@ from .protocol import (
     RESULT,
     STOP,
     TRACE,
+    TRUNCATE,
     WorkerStats,
     typed_sort_key,
 )
 from .worker import worker_main
 
-__all__ = ["MPResult", "run_multiprocessing"]
+__all__ = ["MPResult", "default_ack_deadline", "run_multiprocessing"]
 
 ProcessorId = Hashable
+
+# Restart backoff: before the n-th respawn of the same worker (n >= 2)
+# the coordinator sleeps min(base * 2**(n-2), cap) seconds.  The first
+# restart is immediate — one-shot injected kills and isolated crashes
+# should recover as fast as the detector allows.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 1.0
+
+
+def default_ack_deadline(processors: int, sync: str = "bsp",
+                         staleness: int = 2) -> float:
+    """The default wedged-worker deadline, scaled to the run's shape.
+
+    A worker that stays alive but does not ack a probe wave for this
+    many seconds is declared wedged.  The floor covers interpreter
+    start-up and scheduler noise; every extra processor adds probe
+    fan-out and queue contention, and under SSP a throttled worker may
+    legitimately sit on a full staleness window of staged work before
+    it next drains its inbox, so the bound widens with the staleness.
+    """
+    deadline = 15.0 + 0.5 * processors
+    if sync == "ssp":
+        deadline += 2.0 * staleness
+    return deadline
 
 
 @dataclass
@@ -139,9 +182,10 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                         recovery: str = "fail",
                         faults: Optional[FaultPlan] = None,
                         max_restarts: int = 3,
-                        ack_timeout: float = 30.0,
+                        ack_timeout: Optional[float] = None,
                         sync: str = "bsp",
-                        staleness: int = 2) -> MPResult:
+                        staleness: int = 2,
+                        checkpoint_interval: int = 4) -> MPResult:
     """Execute a rewritten program on real OS processes.
 
     Args:
@@ -160,13 +204,23 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         recovery: ``"fail"`` — a dead worker aborts the run with a
             precise error; ``"restart"`` — dead workers are respawned
             from their base fragments and peers replay their sent-logs
-            (the recovered answer is exactly the undisturbed one).
+            (the recovered answer is exactly the undisturbed one);
+            ``"checkpoint"`` — dead workers are respawned from their
+            last coordinator-held checkpoint and peers replay only the
+            unacknowledged suffix of their sent-logs (same answer,
+            strictly less re-derivation and replay).
         faults: optional :class:`~repro.parallel.faults.FaultPlan` to
             inject (kills and channel disturbances).  Kill faults are
             one-shot: restarted workers are spawned unarmed.
-        max_restarts: total worker restarts allowed before giving up.
+        max_restarts: total worker restarts allowed before giving up
+            (must be ``>= 0``).
         ack_timeout: seconds a live worker may go without acking a
-            probe before the run is declared wedged.
+            probe before the run is declared wedged; ``None`` (the
+            default) derives the deadline from the run's shape via
+            :func:`default_ack_deadline`.
+        checkpoint_interval: bursts between worker checkpoints under
+            ``recovery="checkpoint"`` (must be ``>= 1``); ignored by
+            the other policies.
         sync: ``"bsp"`` (default) — workers run free, never held back
             (real execution has no barriers; the name states which
             semantics the mode matches, not that rounds exist);
@@ -176,13 +230,14 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
             work-holding worker can always step.
 
     Raises:
+        ConfigurationError: on an invalid parameter value.
         ExecutionError: on worker crash, unrecovered death, wedged
             worker or timeout.
     """
-    if recovery not in ("fail", "restart"):
-        raise ExecutionError(
-            f"unknown recovery policy {recovery!r}: expected 'fail' or "
-            "'restart'")
+    if recovery not in ("fail", "restart", "checkpoint"):
+        raise ConfigurationError(
+            f"unknown recovery policy {recovery!r}: expected 'fail', "
+            "'restart' or 'checkpoint'")
     if sync not in ("bsp", "ssp"):
         raise ExecutionError(
             f"unknown sync mode {sync!r}: expected 'bsp' or 'ssp'")
@@ -190,6 +245,16 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
         raise ExecutionError(
             "ssp requires staleness >= 1: the slowest work-holding worker "
             "has lag 0 and must always be allowed to step")
+    if max_restarts < 0:
+        raise ConfigurationError(
+            f"max_restarts must be >= 0, got {max_restarts}")
+    if checkpoint_interval < 1:
+        raise ConfigurationError(
+            f"checkpoint_interval must be >= 1 burst, got "
+            f"{checkpoint_interval}")
+    if ack_timeout is not None and ack_timeout <= 0:
+        raise ConfigurationError(
+            f"ack deadline must be positive, got {ack_timeout}")
     started = time.perf_counter()
     tracer = ensure_tracer(tracer)
     tracing = tracer.enabled
@@ -200,6 +265,8 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
 
     order = sorted(program.processors, key=processor_tag)
     tags = {proc: processor_tag(proc) for proc in order}
+    if ack_timeout is None:
+        ack_timeout = default_ack_deadline(len(order), sync, staleness)
     if faults is not None:
         known = set(tags.values())
         for kill in faults.kills:
@@ -219,33 +286,71 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
 
     if tracing:
         tracer.run_start(scheme=program.scheme + "+mp",
-                         processors=[tags[p] for p in order], executor="mp")
+                         processors=[tags[p] for p in order], executor="mp",
+                         recovery=recovery,
+                         ack_deadline=round(ack_timeout, 3))
 
     processes: Dict[ProcessorId, multiprocessing.Process] = {}
     epoch = 0
     restarts = 0
+    restart_counts: Dict[ProcessorId, int] = {}
+    checkpoints: Dict[ProcessorId, Dict[str, object]] = {}
+    checkpoint_bytes_total = 0
+    # recovery_seconds: death detection -> the next fully-acked probe
+    # wave (every worker back in the protocol).  A death while recovery
+    # is still pending (cascading failure) extends the same window.
+    recovery_pending = False
+    recovery_started = 0.0
+    recovery_seconds_total = 0.0
 
-    def spawn(proc: ProcessorId, armed: bool) -> None:
+    def spawn(proc: ProcessorId, armed: bool,
+              restore: Optional[Dict[str, object]] = None) -> None:
         """Start (or restart) the worker of ``proc``.
 
         Restarted workers reuse their original inbox queue — messages
         already enqueued for the dead predecessor are still valid input
         (monotonicity) — and are spawned with ``armed=False`` so an
-        injected kill fires at most once per processor.
+        injected kill fires at most once per processor.  Under
+        ``recovery="checkpoint"`` a restart passes the dead worker's
+        last checkpoint payload as ``restore``, so the newcomer resumes
+        from the snapshot instead of the base fragment.
         """
         injected = worker_faults[proc]
         if injected is not None and not armed:
             injected = dataclasses.replace(injected, kill_after=None)
             if injected.kill_after is None and not injected.channel_faults:
                 injected = None
+        interval = checkpoint_interval if recovery == "checkpoint" else None
         process = context.Process(
             target=worker_main,
             args=(program.program_for(proc), locals_by_proc[proc],
                   inboxes[proc], inboxes, coordinator_queue, tracing,
-                  injected, epoch, sync, staleness, backend),
+                  injected, epoch, sync, staleness, backend,
+                  interval, restore),
             daemon=True)
         process.start()
         processes[proc] = process
+
+    def absorb_checkpoint(message: tuple, fanout: bool = True) -> None:
+        """Store a worker's latest checkpoint; fan out truncations.
+
+        Each watermark in the payload tells one peer how far its
+        sent-log toward the checkpointing worker is already covered by
+        the snapshot; a ``(TRUNCATE, proc, stamp)`` lets that peer drop
+        the covered prefix.  Inbox FIFO order guarantees the peer sees
+        the TRUNCATE before any later REPLAY request for ``proc``, so
+        replays are exactly the post-truncation suffix.
+        """
+        nonlocal checkpoint_bytes_total
+        _, proc, payload = message
+        checkpoints[proc] = payload
+        checkpoint_bytes_total += approx_checkpoint_bytes(payload)
+        if not fanout:
+            return
+        for sender, stamp in payload["watermarks"].items():
+            inbox = inboxes.get(sender)
+            if inbox is not None:
+                inbox.put((TRUNCATE, proc, stamp))
 
     def fail_dead(dead: List[ProcessorId], reason: str) -> None:
         names = ", ".join(
@@ -257,30 +362,52 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
 
     def handle_dead(dead: List[ProcessorId]) -> None:
         """Apply the recovery policy to silently-dead workers."""
-        nonlocal epoch, restarts
+        nonlocal epoch, restarts, recovery_pending, recovery_started
+        # A death detected while a previous recovery is still pending
+        # (peers mid-replay, newcomer mid-catch-up) is a *cascading*
+        # failure; the trace marks it so soak runs can tell the two
+        # apart.
+        cascading = recovery_pending
         if tracing:
             for proc in dead:
                 tracer.worker_down(tags[proc],
                                    exitcode=processes[proc].exitcode,
-                                   epoch=epoch)
-        if recovery != "restart":
+                                   epoch=epoch, cascading=cascading)
+        if recovery == "fail":
             fail_dead(dead, "recovery policy is 'fail'")
         if restarts + len(dead) > max_restarts:
             fail_dead(dead, f"max_restarts={max_restarts} exhausted")
         restarts += len(dead)
+        if not recovery_pending:
+            recovery_pending = True
+            recovery_started = time.perf_counter()
         epoch += 1
-        for proc in dead:
-            processes[proc].join(timeout=1.0)
-            spawn(proc, armed=False)
-            if tracing:
-                tracer.worker_restart(tags[proc], epoch=epoch)
         # Survivors first zero their quiescence counters at the new
         # epoch, then replay their sent-logs to every newcomer; inbox
         # FIFO order guarantees each survivor processes its RESET
-        # before the probes of the next wave.
+        # before the probes of the next wave.  RESET goes out *before*
+        # the respawn (and its backoff sleep), shrinking the window in
+        # which a newcomer's first DATA could reach a survivor still
+        # counting in the old epoch.
         survivors = [proc for proc in order if proc not in dead]
         for proc in survivors:
             inboxes[proc].put((RESET, epoch))
+        for proc in dead:
+            processes[proc].join(timeout=1.0)
+            count = restart_counts.get(proc, 0) + 1
+            restart_counts[proc] = count
+            if count > 1:
+                # Per-worker exponential backoff: a flapping processor
+                # cannot hot-loop the spawn path, and repeated deaths
+                # burn wall-clock instead of churning the cluster.
+                time.sleep(min(_BACKOFF_BASE * 2.0 ** (count - 2),
+                               _BACKOFF_CAP))
+            restore = (checkpoints.get(proc)
+                       if recovery == "checkpoint" else None)
+            spawn(proc, armed=False, restore=restore)
+            if tracing:
+                tracer.worker_restart(tags[proc], epoch=epoch,
+                                      restored=restore is not None)
         for proc in survivors:
             for casualty in dead:
                 inboxes[proc].put((REPLAY, casualty))
@@ -340,6 +467,11 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                         if message[0] == TRACE:
                             for payload in message[2]:
                                 tracer.ingest(payload)
+                        if message[0] == CHECKPOINT:
+                            # A snapshot that raced the death is still
+                            # the latest one; keep it (and let peers
+                            # truncate) before deciding how to respawn.
+                            absorb_checkpoint(message)
                     handle_dead(dead)
                     recovered = True
                     break
@@ -362,6 +494,9 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                     for payload in message[2]:
                         tracer.ingest(payload)
                     continue
+                if tag == CHECKPOINT:
+                    absorb_checkpoint(message)
+                    continue
                 if tag == ACK and message[2] == sequence and message[6] == epoch:
                     (_, proc, _seq, sent, received, activity, _epoch,
                      clock, pending) = message
@@ -375,6 +510,12 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                 previous = None
                 horizon = None
                 continue
+            if recovery_pending:
+                # First fully-acked wave after a death: every worker
+                # (newcomers included) is back in the protocol, so the
+                # recovery window closes here.
+                recovery_seconds_total += time.perf_counter() - recovery_started
+                recovery_pending = False
             if sync == "ssp":
                 pending_clocks = [snapshot[p][3] for p in order
                                   if snapshot[p][4]]
@@ -427,6 +568,11 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                 for payload in message[2]:
                     tracer.ingest(payload)
                 continue
+            if tag == CHECKPOINT:
+                # Workers have been told to stop; keep the slot current
+                # but skip the truncation fan-out (nobody will read it).
+                absorb_checkpoint(message, fanout=False)
+                continue
             if tag == RESULT:
                 _, proc, worker_outputs, worker_stats = message
                 outputs[proc] = worker_outputs
@@ -449,8 +595,15 @@ def run_multiprocessing(program: ParallelProgram, database: Database,
                               staleness=staleness if sync == "ssp" else None)
     metrics.control_messages = probes_sent
     metrics.restarts = restarts
+    metrics.recovery_seconds = recovery_seconds_total
+    # Coordinator-side total: a worker's own checkpoint_bytes counter
+    # dies with it, the slot ledger does not.
+    metrics.checkpoint_bytes = checkpoint_bytes_total
     for proc in order:
         worker_stats = stats[proc]
+        metrics.recovery_replayed_facts += worker_stats.replayed
+        metrics.retried += worker_stats.retried
+        metrics.log_truncated += worker_stats.log_truncated
         metrics.firings[proc] = worker_stats.firings
         metrics.probes[proc] = worker_stats.probes
         metrics.received[proc] = worker_stats.received

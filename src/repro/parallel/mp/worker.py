@@ -31,12 +31,36 @@ the soundness and termination argument.
 
 Fault tolerance.  Every worker keeps a *sent-log*: per peer and
 predicate, the set of facts it has routed there, in first-send order
-(an insertion-ordered dict doubling as the dedup set).  When the
+(an insertion-ordered dict doubling as the dedup set), each entry
+carrying the channel stamp of the last message that carried the fact
+(``None`` while the fact has not reached the wire).  When the
 coordinator restarts a dead peer it asks the survivors to ``replay``
 their logs to it; combined with the restarted worker re-deriving its
-own outputs from its base fragment, monotonicity plus
-duplicate-dropping makes the recovered run's answer identical to an
-undisturbed one (Theorem 1 under failure).
+own outputs from its base fragment (``recovery="restart"``) or
+resuming from its last checkpoint (``recovery="checkpoint"``),
+monotonicity plus duplicate-dropping makes the recovered run's answer
+identical to an undisturbed one (Theorem 1 under failure).
+
+Checkpointing (``recovery="checkpoint"``).  Every
+``checkpoint_interval`` productive step bursts the worker snapshots its
+runtime (:meth:`~repro.parallel.processor.ProcessorRuntime.
+export_state`), counters, sent-log and per-sender watermarks into a
+:class:`~.checkpoint.WorkerCheckpoint` and ships it to the coordinator,
+which fans the watermarks back out as ``truncate`` messages — peers
+then drop the acknowledged prefix of their logs, so log memory and
+replay cost stop growing with total derived facts.  A worker spawned
+with a ``restore`` payload loads the snapshot instead of running its
+initialization rules (its init output is already inside the restored
+``t_out``), then re-sends every *unwired* log entry — facts its
+predecessor buffered, delayed or had dropped — through the reliable
+path, healing whatever died with the old incarnation.
+
+Reliable retry.  Injected ``drop`` faults apply to *first*
+transmissions only (the same convention replays always had): dropped
+facts are remembered and re-sent at the next probe through
+:func:`send_now`, so a lossy channel delays a fact by at most one probe
+interval instead of losing it.  This is what lets the chaos harness
+demand exact answers under drop faults for *both* recovery policies.
 
 Replay equivalence of the deduplicated log: receivers discard
 duplicates (the difference step of the paper's receiving rules), so
@@ -72,7 +96,12 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ...facts.backend import make_relation, set_fact_backend
 from ...facts.database import Database
-from ...facts.packing import is_packed, pack_facts, unpack_facts
+from ...facts.packing import (
+    PACK_MIN_FACTS,
+    is_packed,
+    pack_facts,
+    unpack_facts,
+)
 from ...obs.sinks import InMemorySink
 from ...obs.tracer import NULL_TRACER, Tracer
 from ..faults import DELAY, DELIVER, DROP, WorkerFaults
@@ -80,8 +109,16 @@ from ..metrics import approx_batch_bytes
 from ..naming import processor_tag
 from ..plans import ProcessorProgram
 from ..processor import ProcessorRuntime
+from .checkpoint import (
+    Stamp,
+    WorkerCheckpoint,
+    approx_checkpoint_bytes,
+    decode_checkpoint,
+    encode_checkpoint,
+)
 from .protocol import (
     ACK,
+    CHECKPOINT,
     DATA,
     ERROR,
     PROBE,
@@ -90,6 +127,7 @@ from .protocol import (
     RESULT,
     STOP,
     TRACE,
+    TRUNCATE,
     WorkerStats,
     typed_sort_key,
 )
@@ -114,7 +152,8 @@ _COALESCE_MAX_FACTS = 512
 # Minimum batch size worth transposing into packed columns on the wire
 # (below it the per-column overhead outweighs the per-fact savings; the
 # byte model in parallel/metrics.py reflects both formats either way).
-_PACK_MIN_FACTS = 8
+# Shared with the checkpoint encoder via repro.facts.packing.
+_PACK_MIN_FACTS = PACK_MIN_FACTS
 
 
 def _rebuild_database(relations: Mapping[str, Tuple[int, object]]) -> Database:
@@ -136,7 +175,9 @@ def worker_main(program: ProcessorProgram,
                 coordinator_queue, trace: bool = False,
                 faults: Optional[WorkerFaults] = None,
                 epoch: int = 0, sync: str = "bsp",
-                staleness: int = 2, backend: str = "tuple") -> None:
+                staleness: int = 2, backend: str = "tuple",
+                checkpoint_interval: Optional[int] = None,
+                restore: Optional[Dict[str, object]] = None) -> None:
     """Entry point of a worker process.
 
     Args:
@@ -166,6 +207,13 @@ def worker_main(program: ProcessorProgram,
             tuple lists; receivers of either format reconstruct the
             identical fact tuples, so the choice is invisible to
             routing and quiescence accounting.
+        checkpoint_interval: when set (``recovery="checkpoint"``), ship
+            a checkpoint to the coordinator every this many productive
+            step bursts.
+        restore: optional encoded checkpoint payload
+            (:func:`~.checkpoint.encode_checkpoint`); when given, the
+            worker resumes from the snapshot instead of firing its
+            initialization rules.
     """
     set_fact_backend(backend)
     pack_wire = backend == "columnar"
@@ -184,12 +232,27 @@ def worker_main(program: ProcessorProgram,
     # sent/received balance survives the loss of a dead peer's counters.
     epoch_sent = 0
     epoch_received = 0
+    # Channel stamps: the incarnation is the epoch this worker process
+    # was *spawned* in — it never moves with later RESETs, so stamps of
+    # successive incarnations of one processor are strictly ordered —
+    # and out_seq counts messages per target channel.
+    incarnation = epoch
+    out_seq: Dict[ProcessorId, int] = {}
+    # Highest stamp dequeued per sender; published in checkpoints so the
+    # coordinator can fan out sent-log truncations (see .protocol).
+    watermarks: Dict[ProcessorId, Stamp] = {}
     # Per-peer, per-predicate log of everything ever routed there, for
     # replay on a peer's restart.  The inner dict is insertion-ordered
     # and keyed by fact, so it deduplicates while preserving first-send
-    # order; see the module docstring for why the deduplicated log is
+    # order; the value is the stamp of the last message that carried
+    # the fact (None while it has not reached the wire).  See the
+    # module docstring for why the deduplicated log is
     # replay-equivalent and memory-bounded.
-    sent_log: Dict[ProcessorId, Dict[str, Dict[tuple, None]]] = {}
+    sent_log: Dict[ProcessorId, Dict[str, Dict[tuple, Optional[Stamp]]]] = {}
+    # Facts whose first transmission an injected drop fault swallowed,
+    # re-sent reliably at the next probe (see module docstring).
+    unsent: Dict[ProcessorId, Dict[str, List[tuple]]] = {}
+    bursts_since_checkpoint = 0
     # Outbound coalescing buffers: facts per peer per predicate, and a
     # per-peer fact count driving the early-flush threshold.  Read the
     # toggle here (not at import) so tests can set the env var before
@@ -260,7 +323,17 @@ def worker_main(program: ProcessorProgram,
                     for predicate, facts in pairs]
             else:
                 wire_pairs = pairs
-            peer_queues[target].put((DATA, me, wire_pairs, epoch))
+            seq = out_seq.get(target, 0) + 1
+            out_seq[target] = seq
+            stamp = (incarnation, seq)
+            peer_queues[target].put((DATA, me, wire_pairs, epoch, stamp))
+            # Record the carrying stamp on every logged fact: once the
+            # receiver's watermark passes it, the entry is truncatable.
+            log_by_pred = sent_log.setdefault(target, {})
+            for predicate, facts in pairs:
+                log = log_by_pred.setdefault(predicate, {})
+                for fact in facts:
+                    log[fact] = stamp
             count = sum(len(facts) for _, facts in pairs)
             stats.sent_by_target[target] = (
                 stats.sent_by_target.get(target, 0) + count)
@@ -328,17 +401,25 @@ def worker_main(program: ProcessorProgram,
                         activity += len(bucket)
                         continue
                     # Logged before any fault decision: a dropped send
-                    # must still be replayable.
+                    # must still be replayable.  setdefault-style insert
+                    # keeps an existing stamp if a restored log already
+                    # holds the fact.
                     log = sent_log.setdefault(target, {}).setdefault(
                         predicate, {})
                     for fact in bucket:
-                        log[fact] = None
+                        if fact not in log:
+                            log[fact] = None
                     if channel_faults is not None:
                         target_tag = processor_tag(target)
                         deliver: List[tuple] = []
                         for fact in bucket:
                             verdict = channel_faults.decide(tag, target_tag)
                             if verdict == DROP:
+                                # Remembered for the reliable retry at
+                                # the next probe; faults only ever hit
+                                # first transmissions.
+                                unsent.setdefault(target, {}).setdefault(
+                                    predicate, []).append(fact)
                                 continue
                             if verdict == DELAY:
                                 delayed.append((target, predicate, fact))
@@ -362,12 +443,30 @@ def worker_main(program: ProcessorProgram,
             for target, by_pred in by_target.items():
                 send_now(target, list(by_pred.items()))
 
-        def replay_to(target: ProcessorId) -> None:
-            """Re-send the full sent-log of ``target`` (its restart).
+        def retry_unsent() -> None:
+            """Reliably re-send facts whose first transmission was
+            dropped by an injected fault (drops are transient: the
+            retry path never consults the fault state)."""
+            if not unsent:
+                return
+            held = dict(unsent)
+            unsent.clear()
+            for target, by_pred in held.items():
+                pairs = [(predicate, facts)
+                         for predicate, facts in by_pred.items() if facts]
+                if pairs:
+                    stats.retried += sum(len(facts) for _, facts in pairs)
+                    send_now(target, pairs)
 
-            Replays bypass the coalescing buffer: they already ship as
-            one message per peer, and keeping them out of ``outbound``
-            keeps the replayed/sent counter split exact.
+        def replay_to(target: ProcessorId) -> None:
+            """Re-send the remaining sent-log of ``target`` (its restart).
+
+            Under ``recovery="checkpoint"`` truncation has already
+            removed the acknowledged prefix, so "the remaining log" is
+            exactly the unacknowledged suffix.  Replays bypass the
+            coalescing buffer: they already ship as one message per
+            peer, and keeping them out of ``outbound`` keeps the
+            replayed/sent counter split exact.
             """
             log = sent_log.get(target)
             if not log:
@@ -381,7 +480,89 @@ def worker_main(program: ProcessorProgram,
                 tracer.replay(tag, processor_tag(target),
                               sum(len(facts) for _, facts in pairs))
 
-        route(runtime.initialize())
+        def truncate_log(target: ProcessorId, stamp: Stamp) -> None:
+            """Drop log entries for ``target`` acknowledged by ``stamp``.
+
+            Only wired entries at or below the watermark go; unwired
+            entries (stamp ``None``) stay until the retry/replay paths
+            deal with them.  Rebuilding the dict preserves the
+            first-send order of the kept suffix.
+            """
+            log_by_pred = sent_log.get(target)
+            if not log_by_pred:
+                return
+            removed = 0
+            for predicate, log in list(log_by_pred.items()):
+                kept = {fact: s for fact, s in log.items()
+                        if s is None or s > stamp}
+                removed += len(log) - len(kept)
+                log_by_pred[predicate] = kept
+            if removed:
+                stats.log_truncated += removed
+                if trace:
+                    tracer.log_truncate(tag, processor_tag(target), removed)
+
+        def take_checkpoint() -> None:
+            """Snapshot and ship recoverable state to the coordinator.
+
+            Called only at burst boundaries with flushed outbound
+            buffers, so the snapshot is the consistent cut
+            :mod:`.checkpoint` documents.
+            """
+            in_facts, out_facts, staged = runtime.export_state()
+            snapshot = WorkerCheckpoint(
+                epoch=epoch,
+                in_facts=in_facts,
+                out_facts=out_facts,
+                staged=staged,
+                counters=runtime.counters.as_dict(),
+                duplicates_dropped=runtime.duplicates_dropped,
+                received=stats.received,
+                self_delivered=stats.self_delivered,
+                sent_log=sent_log,
+                watermarks=watermarks,
+            )
+            payload = encode_checkpoint(snapshot)
+            coordinator_queue.put((CHECKPOINT, me, payload))
+            nbytes = approx_checkpoint_bytes(payload)
+            stats.checkpoints += 1
+            stats.checkpoint_bytes += nbytes
+            if trace:
+                tracer.checkpoint(tag, snapshot.fact_count(), nbytes, epoch)
+
+        if restore is not None:
+            # Resume from the predecessor's checkpoint: load state and
+            # counters, adopt its sent-log and watermarks, and skip
+            # initialize() — the init-rule output is already inside the
+            # restored t_out relations (and was already routed).
+            snapshot = decode_checkpoint(restore)
+            runtime.import_state(snapshot.in_facts, snapshot.out_facts,
+                                 snapshot.staged,
+                                 counters=snapshot.counters,
+                                 duplicates_dropped=snapshot.duplicates_dropped)
+            stats.received = snapshot.received
+            stats.self_delivered = snapshot.self_delivered
+            stats.restored_facts = snapshot.fact_count()
+            for target, by_pred in snapshot.sent_log.items():
+                sent_log[target] = {predicate: dict(entries)
+                                    for predicate, entries in by_pred.items()}
+            watermarks.update(snapshot.watermarks)
+            if trace:
+                tracer.restore(tag, stats.restored_facts, epoch)
+            # Heal what died with the predecessor: every unwired log
+            # entry (buffered, delayed or dropped at death) goes out
+            # reliably under the new incarnation's stamps.
+            for target, by_pred in sent_log.items():
+                pairs = []
+                for predicate, entries in by_pred.items():
+                    pending = [fact for fact, s in entries.items()
+                               if s is None]
+                    if pending:
+                        pairs.append((predicate, pending))
+                if pairs:
+                    send_now(target, pairs)
+        else:
+            route(runtime.initialize())
         flush_outbound()
         maybe_die()
         running = True
@@ -397,7 +578,7 @@ def worker_main(program: ProcessorProgram,
                     break
                 kind = message[0]
                 if kind == DATA:
-                    _, sender, pairs, msg_epoch = message
+                    _, sender, pairs, msg_epoch, stamp = message
                     count = 0
                     for predicate, payload in pairs:
                         facts = (unpack_facts(payload) if is_packed(payload)
@@ -407,6 +588,9 @@ def worker_main(program: ProcessorProgram,
                         if trace:
                             tracer.tuple_received(tag, processor_tag(sender),
                                                   predicate, count=len(facts))
+                    current = watermarks.get(sender)
+                    if current is None or stamp > current:
+                        watermarks[sender] = stamp
                     stats.received += count
                     if msg_epoch == epoch:
                         epoch_received += count
@@ -422,6 +606,7 @@ def worker_main(program: ProcessorProgram,
                     # or coalescing could fake a sent/received balance.
                     flush_outbound()
                     flush_delayed()
+                    retry_unsent()
                     stats.firings = runtime.counters.total_firings()
                     stats.probes = runtime.counters.probes
                     stats.iterations = runtime.counters.iterations
@@ -445,6 +630,10 @@ def worker_main(program: ProcessorProgram,
                 elif kind == REPLAY:
                     _, target = message
                     replay_to(target)
+                    drained_any = True
+                elif kind == TRUNCATE:
+                    _, target, stamp = message
+                    truncate_log(target, stamp)
                     drained_any = True
                 elif kind == STOP:
                     running = False
@@ -487,6 +676,14 @@ def worker_main(program: ProcessorProgram,
                 route(emissions)
                 maybe_die()
             flush_outbound()
+            # Periodic checkpoint at the burst boundary: buffers are
+            # flushed, no step is in progress — the consistent cut the
+            # restore semantics rely on.
+            if checkpoint_interval is not None and stepped:
+                bursts_since_checkpoint += 1
+                if bursts_since_checkpoint >= checkpoint_interval:
+                    bursts_since_checkpoint = 0
+                    take_checkpoint()
             if drained_any or stepped:
                 idle_poll = _POLL_MIN_SECONDS
             else:

@@ -207,6 +207,58 @@ class ProcessorRuntime:
                     emissions.append((pred, fact))
         return emissions
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def export_state(self) -> Tuple[Dict[str, List[Fact]],
+                                    Dict[str, List[Fact]],
+                                    Dict[str, List[Fact]]]:
+        """Snapshot the derived state for a checkpoint.
+
+        Returns ``(in_facts, out_facts, staged)``: the full input
+        relations, the output relations and any staged-but-unprocessed
+        tuples.  Taken at a burst boundary (no step in progress) this is
+        a consistent cut of the processor: every fact in ``in_facts``
+        has already fired as a delta, so the deltas need not travel.
+        """
+        return ({pred: list(rel) for pred, rel in self._in_full.items()},
+                {pred: list(rel) for pred, rel in self._out.items()},
+                {pred: list(staged)
+                 for pred, staged in self._staged.items() if staged})
+
+    def import_state(self, in_facts: Dict[str, Sequence[Fact]],
+                     out_facts: Dict[str, Sequence[Fact]],
+                     staged: Dict[str, Sequence[Fact]],
+                     counters: Optional[Dict[str, object]] = None,
+                     duplicates_dropped: int = 0) -> None:
+        """Restore an :meth:`export_state` snapshot into a fresh runtime.
+
+        Checkpointed input facts load into *full and prev* with empty
+        deltas: the checkpoint was cut at a burst boundary, where every
+        fact in full had already fired, so re-firing on them would only
+        re-derive duplicates (monotonicity makes that sound but
+        wasteful, and it would double-count firings).  Output facts
+        reload so later derivations dedup against them — a restored
+        worker must not re-emit what its predecessor already routed.
+        ``counters`` (an :meth:`EvalCounters.as_dict` snapshot) carries
+        the predecessor's firing counts forward, keeping the cluster
+        total equal to an undisturbed run.
+
+        Call before :meth:`initialize`-time routing — a restored worker
+        skips ``initialize()`` entirely, since its init-rule output is
+        already inside ``out_facts``.
+        """
+        for pred, facts in in_facts.items():
+            self._in_full[pred].update(facts)
+            self._in_prev[pred].update(facts)
+        for pred, facts in out_facts.items():
+            self._out[pred].update(facts)
+        for pred, facts in staged.items():
+            self._staged[pred].extend(facts)
+        if counters is not None:
+            self.counters = EvalCounters.from_dict(counters)
+        self.duplicates_dropped += duplicates_dropped
+
     def output_relation(self, predicate: str) -> Relation:
         """The local ``t_out`` relation of ``predicate`` (final pooling)."""
         return self._out[predicate]

@@ -1,0 +1,74 @@
+"""The chaos soak harness: deterministic derivation plus live soaks.
+
+Two layers.  The cheap layer pins the *harness itself*: seeds derive
+cases deterministically, consecutive seeds alternate the recovery
+policy (the axis under soak), and a failing case is recorded — never
+raised — so a soak always reports every seed.  The live layer runs a
+small band of consecutive seeds against real worker processes, one
+test per seed; the ids carry the recovery policy so CI can split the
+soak into one leg per policy (``-k "chaos and restart"`` /
+``-k "chaos and checkpoint"``, see the chaos-smoke job).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.parallel.chaos import build_case, run_case, run_chaos, summarize
+
+# Three consecutive seeds per policy: recovery cycles fastest through
+# the grid, so evens are restart and odds are checkpoint, and the six
+# seeds together cover three rewriting schemes under each policy.
+_SOAK_SEEDS = range(6)
+
+
+class TestCaseDerivation:
+    def test_same_seed_same_case(self):
+        assert build_case(17) == build_case(17)
+
+    def test_consecutive_seeds_alternate_recovery(self):
+        policies = [build_case(seed).recovery for seed in range(6)]
+        assert policies == ["restart", "checkpoint"] * 3
+
+    def test_cases_always_include_a_kill(self):
+        for seed in range(24):
+            case = build_case(seed)
+            assert any(spec.startswith("kill:")
+                       for spec in case.fault_specs), case
+
+    def test_describe_names_the_whole_configuration(self):
+        case = build_case(1)
+        text = case.describe()
+        assert "seed 1" in text
+        assert case.scheme in text
+        assert case.recovery in text
+
+
+@pytest.mark.mp
+@pytest.mark.faultinjection
+class TestChaosSoak:
+    @pytest.mark.parametrize(
+        "seed", _SOAK_SEEDS,
+        ids=[f"seed{seed}-{build_case(seed).recovery}"
+             for seed in _SOAK_SEEDS])
+    def test_seed_is_exact_under_its_fault_schedule(self, seed):
+        case = build_case(seed)
+        outcome = run_case(case, timeout=60)
+        assert outcome.ok, outcome.describe()
+
+    def test_budget_exhaustion_is_recorded_not_raised(self):
+        """A case whose restart budget cannot cover its kills must come
+        back as a recorded failure — the soak never crashes."""
+        case = dataclasses.replace(build_case(0), max_restarts=0)
+        outcome = run_case(case, timeout=60)
+        assert not outcome.ok
+        assert "max_restarts" in outcome.detail
+
+    def test_run_chaos_reports_every_seed(self):
+        lines = []
+        outcomes = run_chaos(seeds=2, timeout=60, progress=lines.append)
+        assert len(outcomes) == 2
+        assert len(lines) == 2
+        text = summarize(outcomes)
+        assert "2 case(s)" in text
+        assert "checkpoint: 1" in text and "restart: 1" in text

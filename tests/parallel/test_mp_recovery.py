@@ -1,0 +1,265 @@
+"""Checkpoint-based recovery against the real multiprocessing executor.
+
+Extends ``test_mp_faults.py`` (which pins the ``fail`` and ``restart``
+policies) to ``recovery="checkpoint"``: workers ship periodic snapshots
+to the coordinator, a SIGKILLed worker is respawned *from its last
+checkpoint*, survivors truncate their sent-logs at the acknowledged
+watermarks and replay only the suffix.  The contract under test:
+
+* exactness survives anywhere the kill lands (Theorem 1 under failure,
+  now from a mid-run snapshot instead of the base fragment);
+* total firings still equal an undisturbed sequential run — the
+  restored counters plus post-restore work add up, so recovery is
+  invisible in the gated cost counters;
+* checkpoint recovery replays strictly fewer facts than
+  restart-from-base on a bursty workload (the headline of
+  docs/FAULT_TOLERANCE.md, gated numerically in the bench matrix);
+* a kill landing *during* another worker's recovery (cascading
+  failure) is survived and marked in the trace.
+"""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import ConfigurationError
+from repro.facts.database import Database
+from repro.obs import (
+    CHECKPOINT,
+    LOG_TRUNCATE,
+    RESTORE,
+    RUN_START,
+    WORKER_DOWN,
+    InMemorySink,
+    Tracer,
+)
+from repro.parallel import (
+    build_fault_plan,
+    example2_scheme,
+    example3_scheme,
+    hash_scheme,
+    wolfson_scheme,
+)
+from repro.parallel.mp import run_multiprocessing
+from repro.parallel.mp.runner import default_ack_deadline
+
+
+def _chain_db(length):
+    return Database.from_facts(
+        {"par": [(i, i + 1) for i in range(1, length + 1)]})
+
+
+@pytest.mark.mp
+@pytest.mark.faultinjection
+class TestCheckpointRecovery:
+    @pytest.mark.parametrize("kill_at", [1, 10, 25, 60])
+    def test_exact_and_firings_identical_any_kill_point(
+            self, ancestor, tree_db, kill_at):
+        """Answers AND firings equal sequential wherever the kill lands.
+
+        The firings half is the sharp edge: the restored worker resumes
+        from checkpointed counters and dedups against checkpointed
+        output, so restored-plus-new firings must equal an undisturbed
+        run — re-deriving anything would show up here.
+        """
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan([f"kill:1@{kill_at}"])
+        result = run_multiprocessing(program, tree_db, faults=plan,
+                                     recovery="checkpoint",
+                                     checkpoint_interval=1, timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert (result.metrics.total_firings()
+                == expected.counters.total_firings())
+
+    @pytest.mark.parametrize("scheme", ["example2", "hash", "wolfson"])
+    def test_exact_across_schemes(self, ancestor, tree_db, scheme):
+        if scheme == "example2":
+            program = example2_scheme(ancestor, (0, 1, 2), tree_db)
+        elif scheme == "hash":
+            program = hash_scheme(ancestor, (0, 1, 2))
+        else:
+            program = wolfson_scheme(ancestor, (0, 1))
+        from repro.parallel.naming import processor_tag
+        victim = processor_tag(program.processors[-1])
+        plan = build_fault_plan([f"kill:{victim}@8"])
+        result = run_multiprocessing(program, tree_db, faults=plan,
+                                     recovery="checkpoint",
+                                     checkpoint_interval=1, timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+    def test_truncation_and_restore_happen(self, ancestor, tree_db):
+        """A late kill with frequent checkpoints actually exercises the
+        machinery: snapshots shipped, sent-logs truncated at the
+        watermarks, and the respawn resumes from a checkpoint."""
+        sink = InMemorySink()
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@60"])
+        result = run_multiprocessing(program, tree_db, faults=plan,
+                                     recovery="checkpoint",
+                                     checkpoint_interval=1,
+                                     tracer=Tracer(sink), timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.metrics.checkpoint_bytes > 0
+        assert result.metrics.log_truncated > 0
+        kinds = {event.kind for event in sink.events}
+        assert CHECKPOINT in kinds
+        assert LOG_TRUNCATE in kinds
+        assert RESTORE in kinds
+
+    def test_replays_fewer_than_restart(self, ancestor):
+        """The headline claim, as a strict inequality on one seeded
+        run pair: same chain workload, same late kill, checkpoint
+        recovery replays strictly fewer facts than restart-from-base
+        — with answers and firings identical to sequential for both.
+        (The bench matrix gates the same pair numerically across
+        commits; see mp-recovery-* in repro/bench/scenarios.py.)"""
+        database = _chain_db(96)
+        program = example3_scheme(ancestor, (0, 1, 2))
+        expected = evaluate(ancestor, database)
+        replayed = {}
+        for recovery in ("restart", "checkpoint"):
+            plan = build_fault_plan(["kill:1@400"])
+            result = run_multiprocessing(program, database, faults=plan,
+                                         recovery=recovery,
+                                         checkpoint_interval=1, timeout=120)
+            assert (result.relation("anc").as_set()
+                    == expected.relation("anc").as_set())
+            assert (result.metrics.total_firings()
+                    == expected.counters.total_firings())
+            assert result.restarts == 1
+            replayed[recovery] = result.metrics.recovery_replayed_facts
+        assert replayed["checkpoint"] < replayed["restart"], replayed
+
+    def test_drop_faults_healed_by_retry(self, ancestor, tree_db):
+        """Dropped sends are re-driven by the unsent-retry path at probe
+        time — exactness despite a lossy channel, visible in the
+        ``retried`` counter."""
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["drop:0.3"], seed=11)
+        result = run_multiprocessing(program, tree_db, faults=plan,
+                                     recovery="checkpoint",
+                                     checkpoint_interval=2, timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+        assert result.metrics.retried > 0
+
+    def test_kill_plus_drop_compose(self, ancestor, tree_db):
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@10", "drop:0.2"], seed=4)
+        result = run_multiprocessing(program, tree_db, faults=plan,
+                                     recovery="checkpoint",
+                                     checkpoint_interval=1, timeout=60)
+        expected = evaluate(ancestor, tree_db)
+        assert (result.relation("anc").as_set()
+                == expected.relation("anc").as_set())
+
+
+@pytest.mark.mp
+@pytest.mark.faultinjection
+class TestCascadingFailure:
+    def test_kill_during_recovery_is_survived_and_marked(self, ancestor,
+                                                         tree_db):
+        """A second death landing inside the first recovery window is a
+        *cascading* failure: survived, recovered exactly, and marked
+        ``cascading=True`` on its worker_down trace event.
+
+        The overlap is timing-dependent (the second victim races the
+        first recovery's probe wave), so the test retries a bounded
+        number of times — every attempt must be exact with both
+        restarts; at least one must observe the cascading mark.
+        """
+        program = example3_scheme(ancestor, (0, 1, 2))
+        expected = evaluate(ancestor, tree_db).relation("anc").as_set()
+        saw_cascading = False
+        for _ in range(4):
+            sink = InMemorySink()
+            plan = build_fault_plan(["kill:0@3", "kill:2@6"])
+            result = run_multiprocessing(program, tree_db, faults=plan,
+                                         recovery="checkpoint",
+                                         checkpoint_interval=1,
+                                         tracer=Tracer(sink), timeout=60)
+            assert result.relation("anc").as_set() == expected
+            assert result.restarts == 2
+            downs = [event for event in sink.events
+                     if event.kind == WORKER_DOWN]
+            assert all("cascading" in event.data for event in downs)
+            if any(event.data["cascading"] for event in downs):
+                saw_cascading = True
+                break
+        assert saw_cascading, "no cascading death observed in 4 attempts"
+
+
+@pytest.mark.mp
+@pytest.mark.faultinjection
+class TestRecoveryTracing:
+    def test_report_renders_checkpoint_lifecycle(self, ancestor, tree_db):
+        from repro.obs.report import TraceReport
+        sink = InMemorySink()
+        program = example3_scheme(ancestor, (0, 1, 2))
+        plan = build_fault_plan(["kill:1@60"])
+        run_multiprocessing(program, tree_db, faults=plan,
+                            recovery="checkpoint", checkpoint_interval=1,
+                            tracer=Tracer(sink), timeout=60)
+        report = TraceReport(sink.events)
+        text = report.render()
+        assert "failures and recovery:" in text
+        assert "CHECKPT" in text
+        assert "RESTORE" in text
+        assert "TRUNCATE" in text
+        summary = report.summary()
+        assert summary["checkpoints"] > 0
+        assert summary["restores"] == 1
+        assert summary["log_truncated"] > 0
+
+    def test_run_start_logs_policy_and_derived_deadline(self, ancestor,
+                                                        chain_db):
+        """Satellite: the derived ack deadline is visible at startup."""
+        sink = InMemorySink()
+        program = example3_scheme(ancestor, (0, 1))
+        run_multiprocessing(program, chain_db, recovery="checkpoint",
+                            tracer=Tracer(sink), timeout=60)
+        starts = [event for event in sink.events
+                  if event.kind == RUN_START]
+        assert len(starts) == 1
+        data = starts[0].data
+        assert data["recovery"] == "checkpoint"
+        assert data["ack_deadline"] == pytest.approx(
+            default_ack_deadline(2), abs=1e-6)
+
+
+class TestKnobValidation:
+    def test_default_ack_deadline_scales_with_processors(self):
+        assert default_ack_deadline(2) == pytest.approx(16.0)
+        assert default_ack_deadline(8) == pytest.approx(19.0)
+        # SSP lets workers run ahead by `staleness` bursts, so the
+        # deadline stretches with the bound.
+        assert (default_ack_deadline(4, sync="ssp", staleness=4)
+                > default_ack_deadline(4))
+
+    def test_unknown_recovery_policy_rejected(self, ancestor, chain_db):
+        program = example3_scheme(ancestor, (0, 1))
+        with pytest.raises(ConfigurationError, match="recovery"):
+            run_multiprocessing(program, chain_db, recovery="bogus")
+
+    def test_negative_max_restarts_rejected(self, ancestor, chain_db):
+        program = example3_scheme(ancestor, (0, 1))
+        with pytest.raises(ConfigurationError, match="max_restarts"):
+            run_multiprocessing(program, chain_db, recovery="restart",
+                                max_restarts=-1)
+
+    def test_bad_checkpoint_interval_rejected(self, ancestor, chain_db):
+        program = example3_scheme(ancestor, (0, 1))
+        with pytest.raises(ConfigurationError, match="checkpoint_interval"):
+            run_multiprocessing(program, chain_db, recovery="checkpoint",
+                                checkpoint_interval=0)
+
+    def test_bad_ack_deadline_rejected(self, ancestor, chain_db):
+        program = example3_scheme(ancestor, (0, 1))
+        with pytest.raises(ConfigurationError, match="ack deadline"):
+            run_multiprocessing(program, chain_db, ack_timeout=0.0)

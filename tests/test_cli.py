@@ -257,3 +257,42 @@ class TestBenchCommand:
     def test_unknown_scenario_errors_cleanly(self, capsys):
         assert main(["bench", "profile", "nope"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestRecoveryFlags:
+    def test_checkpoint_without_mp_rejected(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "2",
+                     "--recovery", "checkpoint"])
+        assert code == 2
+        assert "--mp" in capsys.readouterr().err
+
+    @pytest.mark.mp
+    @pytest.mark.faultinjection
+    def test_mp_checkpoint_recovery_end_to_end(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "2", "--mp", "--check",
+                     "--recovery", "checkpoint", "--checkpoint-interval", "1",
+                     "--max-restarts", "2", "--inject-fault", "kill:1@2"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "matches sequential evaluation: True" in output
+
+    @pytest.mark.mp
+    def test_bad_ack_deadline_errors_cleanly(self, program_file, capsys):
+        code = main(["parallel", program_file, "-n", "2", "--mp",
+                     "--ack-deadline", "0"])
+        assert code == 2
+        assert "ack deadline" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    @pytest.mark.mp
+    @pytest.mark.faultinjection
+    def test_soak_two_seeds(self, capsys):
+        assert main(["chaos", "--seeds", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "2 case(s)" in output
+        assert "0 failure(s)" in output
+
+    def test_zero_seeds_rejected(self, capsys):
+        assert main(["chaos", "--seeds", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
