@@ -20,7 +20,10 @@ discipline (documented in ``docs/PERFORMANCE.md``):
   produced (``baseline_wall_seconds`` / ``kernel_speedup``); columnar
   scenarios are likewise A/B-measured against the tuple backend
   (``backend_wall_seconds`` / ``backend_speedup``), aborting if any
-  deterministic counter diverges between backends.
+  deterministic counter diverges between backends; kernel-pinned
+  scenarios (``scenario.kernel``) are A/B-measured against the
+  compiled kernel instead (``kernel_wall_seconds`` /
+  ``kernel_speedup``), under the same counter-identity abort.
 
 Profiling (``repro bench profile``) wraps one scenario run in
 :mod:`cProfile` and pairs the hot-function list with a per-phase event
@@ -39,7 +42,7 @@ import pstats
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..engine import evaluate, join_kernel_enabled, set_join_kernel
+from ..engine import evaluate, join_kernel, set_join_kernel
 from ..errors import ReproError
 from ..facts.backend import fact_backend, set_fact_backend
 from ..obs import AggregateSink, Tracer
@@ -77,7 +80,7 @@ def machine_fingerprint() -> Dict[str, object]:
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpu_count": os.cpu_count(),
-        "join_kernel": join_kernel_enabled(),
+        "join_kernel": join_kernel(),
         "fact_backend": fact_backend(),
     }
 
@@ -231,10 +234,19 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
             measure the tuple backend and record
             ``backend_wall_seconds`` and ``backend_speedup`` (aborting
             if any deterministic counter diverges between backends).
+            Kernel-pinned scenarios (``scenario.kernel`` set to a
+            non-compiled kernel) are instead A/B-measured against the
+            compiled kernel on the same backend — ``kernel_speedup``
+            then means compiled/pinned — and skip the generic and
+            tuple-backend baselines, which would quadruple their cost
+            while duplicating numbers the unpinned sibling scenarios
+            already record.
     """
     if repeats < 1:
         raise ReproError(f"repeats must be >= 1, got {repeats}")
     previous_backend = set_fact_backend(scenario.backend)
+    previous_kernel = (set_join_kernel(scenario.kernel)
+                       if scenario.kernel is not None else None)
     try:
         run_once = _make_runner(scenario)
 
@@ -258,6 +270,7 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
             "staleness": (scenario.staleness if scenario.sync == "ssp"
                           else None),
             "backend": scenario.backend,
+            "kernel": scenario.kernel,
             "repeats": repeats,
             "warmup": warmup,
             "wall_seconds": round(min(walls), 6),
@@ -266,8 +279,8 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
             "peak_rss_kb": _peak_rss_kb(),
         }
 
-        if baseline and scenario.kind == "engine":
-            previous = set_join_kernel(False)
+        if baseline and scenario.kind == "engine" and scenario.kernel is None:
+            previous = set_join_kernel("generic")
             try:
                 baseline_walls = []
                 for _ in range(max(1, repeats)):
@@ -282,10 +295,43 @@ def run_scenario(scenario: PerfScenario, repeats: int = 3, warmup: int = 1,
             base = min(baseline_walls)
             record["baseline_wall_seconds"] = round(base, 6)
             record["kernel_speedup"] = round(base / min(walls), 2)
+
+        if baseline and scenario.kernel not in (None, "compiled"):
+            # Kernel A/B: the same scenario, same backend, under the
+            # compiled kernel — the counter-identity contract makes any
+            # deterministic divergence a bug, not noise.  mp scenarios
+            # spawn workers under whichever kernel the coordinator has
+            # pinned, so the A/B covers the whole cluster.
+            previous = set_join_kernel("compiled")
+            try:
+                kernel_walls = []
+                compiled_counters: Dict[str, object] = {}
+                for _ in range(max(1, repeats)):
+                    wall, compiled_counters = run_once()
+                    kernel_walls.append(wall)
+            finally:
+                set_join_kernel(previous)
+            if scenario.kind == "mp":
+                mine = {key: value for key, value in counters.items()
+                        if key not in _MP_TIMING_COUNTERS}
+                theirs = {key: value
+                          for key, value in compiled_counters.items()
+                          if key not in _MP_TIMING_COUNTERS}
+            else:
+                mine, theirs = counters, compiled_counters
+            if mine != theirs:
+                raise ReproError(
+                    f"{scenario.kernel} kernel diverged from the compiled "
+                    f"kernel on {scenario.name}: {mine} != {theirs}")
+            base = min(kernel_walls)
+            record["kernel_wall_seconds"] = round(base, 6)
+            record["kernel_speedup"] = round(base / min(walls), 2)
     finally:
+        if previous_kernel is not None:
+            set_join_kernel(previous_kernel)
         set_fact_backend(previous_backend)
 
-    if baseline and scenario.backend != "tuple":
+    if baseline and scenario.backend != "tuple" and scenario.kernel is None:
         # Backend A/B: the same scenario under the tuple backend, in the
         # same record (docs/PERFORMANCE.md speedup-claim checklist).
         previous = set_fact_backend("tuple")

@@ -54,6 +54,14 @@ class PerfScenario:
             see :mod:`repro.facts.backend`).  Columnar scenarios are
             additionally measured under the tuple backend so the
             speedup is recorded next to the number it produced.
+        kernel: join kernel pinned for the measurement (a
+            :data:`repro.engine.plan.JOIN_KERNELS` name), or ``None``
+            to inherit the process default — inheriting is what lets a
+            ``REPRO_JOIN_KERNEL`` CI leg apply matrix-wide.  Scenarios
+            pinning a non-compiled kernel are additionally measured
+            under the compiled kernel in the same record
+            (``kernel_wall_seconds`` / ``kernel_speedup``), with the
+            counter-identity gate applied to the pair.
         recovery: optional recovery policy for ``kind="mp"``
             (``"restart"`` or ``"checkpoint"``); enables the injected
             kill below, so the scenario measures the *recovery* path.
@@ -77,6 +85,7 @@ class PerfScenario:
     sync: str = "bsp"
     staleness: int = 2
     backend: str = "tuple"
+    kernel: Optional[str] = None
     recovery: Optional[str] = None
     kill_at: Optional[int] = None
     checkpoint_interval: int = 2
@@ -93,6 +102,8 @@ class PerfScenario:
             detail = f"scheme={self.scheme} n={self.processors}"
         if self.backend != "tuple":
             detail += f" backend={self.backend}"
+        if self.kernel is not None:
+            detail += f" kernel={self.kernel}"
         if self.recovery is not None:
             detail += f" recovery={self.recovery} kill@{self.kill_at}"
         return (f"{self.kind:9s} {self.workload}-{self.size} "
@@ -126,9 +137,11 @@ def build_parallel_program(scenario: PerfScenario, program: Program,
 
 
 def _engine(name: str, workload: str, size: int, method: str,
-            seed: int = 0, backend: str = "tuple") -> PerfScenario:
+            seed: int = 0, backend: str = "tuple",
+            kernel: Optional[str] = None) -> PerfScenario:
     return PerfScenario(name=name, kind="engine", workload=workload,
-                        size=size, seed=seed, method=method, backend=backend)
+                        size=size, seed=seed, method=method, backend=backend,
+                        kernel=kernel)
 
 
 def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
@@ -142,18 +155,21 @@ def _sim(name: str, workload: str, size: int, scheme: str, processors: int,
 
 def _mp(name: str, workload: str, size: int, scheme: str, processors: int,
         seed: int = 0, backend: str = "tuple",
+        kernel: Optional[str] = None,
         recovery: Optional[str] = None,
         kill_at: Optional[int] = None) -> PerfScenario:
     return PerfScenario(name=name, kind="mp", workload=workload, size=size,
                         seed=seed, scheme=scheme, processors=processors,
-                        backend=backend, recovery=recovery, kill_at=kill_at)
+                        backend=backend, kernel=kernel, recovery=recovery,
+                        kill_at=kill_at)
 
 
 def default_matrix() -> Tuple[PerfScenario, ...]:
     """The full measured trajectory: engine × workloads, simulator and
     mp × schemes × 2–8 processors, the skewed BSP/SSP study, the
-    columnar-backend variants of the hottest scenarios, plus the paired
-    restart-vs-checkpoint recovery study (28 scenarios)."""
+    columnar-backend and vectorized-kernel variants of the hottest
+    scenarios, plus the paired restart-vs-checkpoint recovery study
+    (32 scenarios)."""
     return (
         # Sequential engine: the join kernel's direct exposure.
         _engine("engine-seminaive-chain-256", "chain", 256, "seminaive"),
@@ -203,6 +219,21 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
             backend="columnar"),
         _mp("mp-example2-tree-64-n4-columnar", "tree", 64, "example2", 4,
             backend="columnar"),
+        # Vectorized join kernel (docs/DATA_PLANE.md): the transitive
+        # closure and the skewed power-law DAG under the batch probe
+        # path.  Each record carries the compiled-kernel A/B
+        # (``kernel_wall_seconds`` / ``kernel_speedup``) with the
+        # counter-identity gate; the mp pair additionally exercises the
+        # packed-column ingest path end to end.
+        _engine("engine-seminaive-chain-256-vectorized", "chain", 256,
+                "seminaive", backend="columnar", kernel="vectorized"),
+        _engine("engine-seminaive-skewed-96-vectorized", "skewed", 96,
+                "seminaive", seed=3, backend="columnar",
+                kernel="vectorized"),
+        _mp("mp-example3-dag-96-n4-vectorized", "dag", 96, "example3", 4,
+            backend="columnar", kernel="vectorized"),
+        _mp("mp-example2-tree-64-n4-vectorized", "tree", 64, "example2", 4,
+            backend="columnar", kernel="vectorized"),
         # Recovery study (docs/FAULT_TOLERANCE.md): the same workload,
         # the same mid-run SIGKILL, two recovery policies.  The paired
         # records expose recovery_replayed_facts / recovery_seconds, so
@@ -219,8 +250,8 @@ def default_matrix() -> Tuple[PerfScenario, ...]:
 
 
 def smoke_matrix() -> Tuple[PerfScenario, ...]:
-    """The reduced CI matrix: one scenario per executor/scheme corner,
-    sized for seconds, not minutes."""
+    """The reduced CI matrix (10 scenarios): one scenario per
+    executor/scheme corner, sized for seconds, not minutes."""
     return (
         _engine("engine-seminaive-chain-96", "chain", 96, "seminaive"),
         _engine("engine-seminaive-dag-64", "dag", 64, "seminaive"),
@@ -235,6 +266,9 @@ def smoke_matrix() -> Tuple[PerfScenario, ...]:
                 "seminaive", backend="columnar"),
         _mp("mp-example3-chain-48-n2-columnar", "chain", 48, "example3", 2,
             backend="columnar"),
+        # One vectorized-kernel corner, A/B-gated against compiled.
+        _engine("engine-seminaive-chain-96-vectorized", "chain", 96,
+                "seminaive", backend="columnar", kernel="vectorized"),
     )
 
 

@@ -3,7 +3,14 @@
 from .counters import EvalCounters
 from .evaluator import EvaluationResult, evaluate
 from .naive import naive_evaluate
-from .plan import PlanStep, RulePlan, join_kernel_enabled, set_join_kernel
+from .plan import (
+    JOIN_KERNELS,
+    PlanStep,
+    RulePlan,
+    join_kernel,
+    join_kernel_enabled,
+    set_join_kernel,
+)
 from .planner import compile_plan, order_body
 from .seminaive import (
     DELTA_SUFFIX,
@@ -20,6 +27,7 @@ __all__ = [
     "DeltaVariant",
     "EvalCounters",
     "EvaluationResult",
+    "JOIN_KERNELS",
     "PlanStep",
     "RulePlan",
     "Stratum",
@@ -27,6 +35,7 @@ __all__ = [
     "compile_plan",
     "delta_variants",
     "evaluate",
+    "join_kernel",
     "join_kernel_enabled",
     "naive_evaluate",
     "order_body",

@@ -7,7 +7,7 @@ after the step (pushed as early as possible, mirroring the paper's
 discussion of pushing the discriminating selection into the join).
 
 Execution is a depth-first nested-loops join over hash indexes,
-yielding one head tuple per successful ground substitution.  Two
+yielding one head tuple per successful ground substitution.  Three
 implementations share that contract:
 
 * the **compiled kernel** (default) — on first execution the plan is
@@ -17,14 +17,28 @@ implementations share that contract:
   ``isinstance``/dict-dispatch work of the interpretive path is hoisted
   out entirely; positions guaranteed equal by the index lookup are not
   re-checked.
+* the **vectorized kernel** — executes the plan over the *whole input
+  batch at once* instead of one backtracking probe per tuple: the
+  first step's matches become value columns, each later step groups
+  the surviving rows by their join key and probes the index **once per
+  distinct key** (amortizing hash lookups across duplicate keys),
+  expanding rows against cached bucket-column gathers
+  (:meth:`~repro.facts.index.HashIndex.bucket_column`) with C-level
+  ``extend``/``repeat`` loops.  Counter totals (probes = partial
+  bindings arriving at each step, firings = ground substitutions) are
+  identical to the other kernels by construction, so the bench
+  harness's A/B divergence gates apply unchanged.  Emission *order*
+  within a batch may differ from the depth-first kernels (grouping
+  reorders rows); all consumers are order-insensitive sets/counters.
 * the **generic interpreter** — the original recursive reference
   implementation, kept both as executable documentation and as the
   baseline the performance harness (``repro bench``) measures the
-  kernel against.  Equivalence (identical fact sets, firing and probe
-  counts) is property-tested.
+  kernels against.  Equivalence (identical fact sets, firing and probe
+  counts) is property-tested across the full kernel × backend grid.
 
-:func:`set_join_kernel` switches the process-wide default;
-``RulePlan.execute(..., kernel=False)`` overrides it per call.
+:func:`set_join_kernel` switches the process-wide default (accepting a
+kernel name, or a bool for backward compatibility);
+``RulePlan.execute(..., kernel="generic")`` overrides it per call.
 """
 
 from __future__ import annotations
@@ -39,31 +53,64 @@ from ..datalog.rule import Constraint, Rule
 from ..datalog.substitution import Substitution
 from ..datalog.term import Constant, Variable
 from ..errors import EvaluationError
-from ..facts.columnar import ColumnarIndex
+from ..facts.columnar import ColumnarIndex, ColumnarRelation
 from ..facts.database import Database
 from ..facts.relation import Fact
 from .counters import EvalCounters
 
-__all__ = ["PlanStep", "RulePlan", "join_kernel_enabled", "set_join_kernel"]
+__all__ = ["JOIN_KERNELS", "PlanStep", "RulePlan", "join_kernel",
+           "join_kernel_enabled", "set_join_kernel"]
 
 _MISSING = object()
 
-# Process-wide default for which execution path `execute` takes.  The
-# environment variable exists so a whole run (tests, benchmarks) can be
-# forced onto the generic interpreter without touching code.
-_use_kernel = os.environ.get("REPRO_JOIN_KERNEL", "compiled") != "generic"
+# The selectable execution paths, mirroring REPRO_FACT_BACKEND /
+# REPRO_ROUTE_KERNEL: a name picks the path, the env var picks the
+# process default at import time so a whole run (tests, benchmarks) can
+# be forced onto one path without touching code.
+JOIN_KERNELS = ("generic", "compiled", "vectorized")
+
+_kernel_name = os.environ.get("REPRO_JOIN_KERNEL", "compiled")
+if _kernel_name not in JOIN_KERNELS:  # pragma: no cover - env misconfiguration
+    raise ValueError(
+        f"REPRO_JOIN_KERNEL={_kernel_name!r}: expected one of "
+        f"{sorted(JOIN_KERNELS)}")
+
+
+def _coerce_kernel(kernel) -> str:
+    """Normalise a kernel selector (name or legacy bool) to a name."""
+    if kernel is True:
+        return "compiled"
+    if kernel is False:
+        return "generic"
+    if kernel in JOIN_KERNELS:
+        return kernel
+    raise ValueError(
+        f"unknown join kernel {kernel!r}: expected one of "
+        f"{sorted(JOIN_KERNELS)} (or a bool)")
+
+
+def join_kernel() -> str:
+    """Return the name of the process-default join kernel."""
+    return _kernel_name
 
 
 def join_kernel_enabled() -> bool:
-    """Return True iff `execute` defaults to the compiled kernel."""
-    return _use_kernel
+    """True iff `execute` defaults to a compiled path (not the generic
+    interpreter).  Kept for callers that only care about that split;
+    :func:`join_kernel` returns the precise name."""
+    return _kernel_name != "generic"
 
 
-def set_join_kernel(enabled: bool) -> bool:
-    """Set the process-wide default execution path; return the old one."""
-    global _use_kernel
-    previous = _use_kernel
-    _use_kernel = bool(enabled)
+def set_join_kernel(kernel) -> str:
+    """Select the process-default join kernel; return the previous name.
+
+    Accepts a kernel name (``"generic"``, ``"compiled"``,
+    ``"vectorized"``) or, for backward compatibility, a bool —
+    ``True`` means ``"compiled"``, ``False`` means ``"generic"``.
+    """
+    global _kernel_name
+    previous = _kernel_name
+    _kernel_name = _coerce_kernel(kernel)
     return previous
 
 
@@ -277,22 +324,25 @@ class RulePlan:
 
     def execute(self, database: Database,
                 counters: Optional[EvalCounters] = None,
-                kernel: Optional[bool] = None) -> Iterator[Fact]:
+                kernel=None) -> Iterator[Fact]:
         """Yield one head tuple per successful ground substitution.
 
         Args:
             database: must contain a relation for every body predicate.
             counters: optional counters updated with firings and probes.
-            kernel: force the compiled kernel (True) or the generic
-                interpreter (False); None uses the process default set
-                by :func:`set_join_kernel`.
+            kernel: force an execution path by name (``"generic"``,
+                ``"compiled"``, ``"vectorized"``) or legacy bool
+                (True → compiled, False → generic); None uses the
+                process default set by :func:`set_join_kernel`.
 
         Raises:
             EvaluationError: if a body relation is missing.
         """
-        use_kernel = _use_kernel if kernel is None else kernel
-        if use_kernel:
+        name = _kernel_name if kernel is None else _coerce_kernel(kernel)
+        if name == "compiled":
             return self._execute_compiled(database, counters)
+        if name == "vectorized":
+            return self._execute_vectorized(database, counters)
         return self._execute_generic(database, counters)
 
     def _kernel_for(self) -> _PlanKernel:
@@ -488,6 +538,313 @@ class RulePlan:
                 continue
             level += 1
             iters[level] = candidates(level)
+
+    def _execute_vectorized(self, database: Database,
+                            counters: Optional[EvalCounters]
+                            ) -> Iterator[Fact]:
+        """Batch semi-join: the whole step-0 input processed at once.
+
+        The first step's matches become per-variable value columns (one
+        list per bound variable, row-aligned).  Each later step groups
+        the surviving rows by their join key and probes the index
+        **once per distinct key** — duplicate keys, the common case in
+        a transitive-closure delta, amortize the hash lookup, the
+        bucket resolution and the residual const/repeated-variable
+        checks across every row sharing the key.  Matching rows expand
+        against the bucket's gathered columns
+        (:meth:`~repro.facts.index.HashIndex.bucket_column`, cached per
+        bucket under the columnar backend) with C-level
+        ``list.extend`` / ``itertools.repeat`` loops; the head drains
+        straight out of the final columns via ``zip``.
+
+        Counter identity with the other kernels holds by construction:
+        step 0 records one probe (one ``candidates()`` call in the
+        compiled path), every later step records one probe per row
+        arriving at it (one ``candidates()`` call per partial binding),
+        and firings equal the final row count (one per ground
+        substitution).  Emission *order* differs from the depth-first
+        kernels beyond two steps (grouping reorders rows); every
+        consumer treats emissions as a multiset, so answers, counters
+        and round structure are unaffected.
+        """
+        empty_binding = Substitution.empty()
+        for constraint in self.pre_constraints:
+            if not constraint.satisfied(empty_binding):
+                return
+
+        kernel = self._kernel_for()
+        steps = kernel.steps
+        depth = len(steps)
+        head_parts = kernel.head_parts
+        label = self.label
+
+        sources: List[Tuple[Optional[object], object]] = []
+        for kstep in steps:
+            relation = database.get(kstep.predicate)
+            if relation is None:
+                raise EvaluationError(
+                    f"no relation for predicate {kstep.predicate!r} "
+                    f"needed by rule {self.label}")
+            if kstep.key_positions:
+                sources.append((relation.index_on(kstep.key_positions),
+                                relation))
+            else:
+                sources.append((None, relation))
+
+        binding: Dict[Variable, object] = {}
+        if depth == 0:
+            if counters is not None:
+                counters.record_firing(label)
+            yield tuple(binding[part] if is_var else part
+                        for is_var, part in head_parts)
+            return
+
+        # ---- step 0: seed the batch columns -------------------------
+        kstep = steps[0]
+        index, relation = sources[0]
+        if counters is not None:
+            counters.record_probe()
+        if index is not None:
+            key = kstep.const_key
+            if key is None:
+                key = tuple(binding[part] if is_var else part
+                            for is_var, part in kstep.key_parts)
+            rows = index.lookup(key)
+        else:
+            key = None
+            rows = relation.facts()
+
+        bind_specs = kstep.bind_specs
+        cols: Dict[Variable, List[object]] = {}
+        if (kstep.const_checks or kstep.bound_checks or kstep.same_checks
+                or kstep.constraint_checks):
+            kept: List[Fact] = []
+            for fact in rows:
+                matches = True
+                for position, value in kstep.const_checks:
+                    if fact[position] != value:
+                        matches = False
+                        break
+                if matches:
+                    for position, variable in kstep.bound_checks:
+                        if fact[position] != binding[variable]:
+                            matches = False
+                            break
+                if matches:
+                    for position, earlier in kstep.same_checks:
+                        if fact[position] != fact[earlier]:
+                            matches = False
+                            break
+                if not matches:
+                    continue
+                if kstep.constraint_checks:
+                    row_binding = {variable: fact[position]
+                                   for position, variable in bind_specs}
+                    satisfied = True
+                    for check in kstep.constraint_checks:
+                        if not check(row_binding):
+                            satisfied = False
+                            break
+                    if not satisfied:
+                        continue
+                kept.append(fact)
+            for position, variable in bind_specs:
+                cols[variable] = [fact[position] for fact in kept]
+            n = len(kept)
+        elif index is None and isinstance(relation, ColumnarRelation):
+            # Full scan with no residual checks: reuse the relation's
+            # cached raw-value columns (read-only from here on).
+            value_columns = relation.value_columns()
+            for position, variable in bind_specs:
+                cols[variable] = value_columns[position]
+            n = len(relation)
+        elif index is not None and isinstance(index, ColumnarIndex):
+            n = len(rows)
+            for position, variable in bind_specs:
+                cols[variable] = index.bucket_column(key, position)
+        else:
+            facts = list(rows)
+            for position, variable in bind_specs:
+                cols[variable] = [fact[position] for fact in facts]
+            n = len(facts)
+
+        # ---- steps 1..depth-1: group, probe once per key, expand ----
+        for level in range(1, depth):
+            if not n:
+                return
+            kstep = steps[level]
+            index, relation = sources[level]
+            if counters is not None:
+                counters.record_probe(n)
+            const_checks = kstep.const_checks
+            same_checks = kstep.same_checks
+            bound_checks = kstep.bound_checks
+            bind_specs = kstep.bind_specs
+            checks = kstep.constraint_checks
+            prefilter = const_checks or same_checks
+
+            # Group the surviving rows by join key (first-occurrence
+            # key order): every distinct key resolves its bucket once.
+            wrap = False
+            if index is None or kstep.const_key is not None:
+                groups: Dict[object, object] = {kstep.const_key: range(n)}
+            elif len(kstep.key_parts) == 1:
+                # Single-variable key: group on the raw value and wrap
+                # it into the index's tuple key once per distinct key.
+                wrap = True
+                keycol = cols[kstep.key_parts[0][1]]
+                groups = {}
+                for i, value in enumerate(keycol):
+                    group = groups.get(value)
+                    if group is None:
+                        groups[value] = [i]
+                    else:
+                        group.append(i)
+            else:
+                parts = [cols[part] if is_var else repeat(part)
+                         for is_var, part in kstep.key_parts]
+                groups = {}
+                for i, row_key in enumerate(zip(*parts)):
+                    group = groups.get(row_key)
+                    if group is None:
+                        groups[row_key] = [i]
+                    else:
+                        group.append(i)
+
+            out_cols: Dict[Variable, List[object]] = {
+                variable: [] for variable in cols}
+            old_pairs = [(cols[variable], out_cols[variable])
+                         for variable in cols]
+            new_cols: List[List[object]] = [[] for _ in bind_specs]
+            slow = bool(bound_checks or checks)
+            out_n = 0
+
+            for group_key, rows_idx in groups.items():
+                if index is None:
+                    bucket = relation.facts()
+                    probe_key = None
+                else:
+                    probe_key = (group_key,) if wrap else group_key
+                    bucket = index.lookup(probe_key)
+                if prefilter:
+                    facts = []
+                    for fact in bucket:
+                        ok = True
+                        for position, value in const_checks:
+                            if fact[position] != value:
+                                ok = False
+                                break
+                        if ok:
+                            for position, earlier in same_checks:
+                                if fact[position] != fact[earlier]:
+                                    ok = False
+                                    break
+                        if ok:
+                            facts.append(fact)
+                    m = len(facts)
+                    if not m:
+                        continue
+                    bcols = [[fact[position] for fact in facts]
+                             for position, _variable in bind_specs]
+                    ccols = [[fact[position] for fact in facts]
+                             for position, _variable in bound_checks]
+                else:
+                    m = len(bucket)
+                    if not m:
+                        continue
+                    if index is not None:
+                        bcols = [index.bucket_column(probe_key, position)
+                                 for position, _variable in bind_specs]
+                        ccols = [index.bucket_column(probe_key, position)
+                                 for position, _variable in bound_checks]
+                    else:
+                        facts = list(bucket)
+                        bcols = [[fact[position] for fact in facts]
+                                 for position, _variable in bind_specs]
+                        ccols = [[fact[position] for fact in facts]
+                                 for position, _variable in bound_checks]
+
+                if not slow:
+                    # Fast expansion: every bucket fact matches every
+                    # row of the group.
+                    r = len(rows_idx)
+                    if m == 1:
+                        for col, out in old_pairs:
+                            out.extend(col[i] for i in rows_idx)
+                    else:
+                        for col, out in old_pairs:
+                            for i in rows_idx:
+                                out.extend(repeat(col[i], m))
+                    if r == 1:
+                        for bcol, out in zip(bcols, new_cols):
+                            out.extend(bcol)
+                    else:
+                        for bcol, out in zip(bcols, new_cols):
+                            out.extend(bcol * r)
+                    out_n += m * r
+                    continue
+
+                # Slow expansion: bound-variable equalities and/or
+                # constraints need each row's own values.
+                for i in rows_idx:
+                    if bound_checks:
+                        js = [j for j in range(m)
+                              if all(ccol[j] == cols[variable][i]
+                                     for (_position, variable), ccol
+                                     in zip(bound_checks, ccols))]
+                    else:
+                        js = list(range(m))
+                    if js and checks:
+                        base = {variable: column[i]
+                                for variable, column in cols.items()}
+                        surviving = []
+                        for j in js:
+                            row_binding = dict(base)
+                            for (_position, variable), bcol in zip(
+                                    bind_specs, bcols):
+                                row_binding[variable] = bcol[j]
+                            satisfied = True
+                            for check in checks:
+                                if not check(row_binding):
+                                    satisfied = False
+                                    break
+                            if satisfied:
+                                surviving.append(j)
+                        js = surviving
+                    if not js:
+                        continue
+                    count = len(js)
+                    if count == 1:
+                        for col, out in old_pairs:
+                            out.append(col[i])
+                    else:
+                        for col, out in old_pairs:
+                            out.extend(repeat(col[i], count))
+                    for bcol, out in zip(bcols, new_cols):
+                        for j in js:
+                            out.append(bcol[j])
+                    out_n += count
+
+            cols = out_cols
+            for (position, variable), column in zip(bind_specs, new_cols):
+                cols[variable] = column
+            n = out_n
+
+        # ---- head drain ---------------------------------------------
+        if not n:
+            return
+        if counters is not None:
+            counters.record_firing(label, n)
+        if not head_parts:
+            yield from repeat((), n)
+            return
+        if any(is_var for is_var, _part in head_parts):
+            parts = [cols[part] if is_var else repeat(part)
+                     for is_var, part in head_parts]
+            yield from zip(*parts)
+        else:
+            head = tuple(part for _is_var, part in head_parts)
+            yield from repeat(head, n)
 
     def _execute_generic(self, database: Database,
                          counters: Optional[EvalCounters]) -> Iterator[Fact]:

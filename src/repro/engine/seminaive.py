@@ -123,13 +123,22 @@ def _evaluate_stratum(stratum: Stratum, working: Database,
                 tracer.rule_fired(None, plan.label, fact)
             produced.append((head, fact))
 
+    # Bulk-seed the deltas: one batched insert per relation keeps the
+    # columnar backend's materialised columns on the append path and
+    # derives each index key once, instead of paying a per-fact call.
     for predicate in predicates:
-        for fact in working.relation(predicate):
-            deltas[predicate].add(fact)
+        deltas[predicate].update(working.relation(predicate))
+    seed_by_head: Dict[str, List[Fact]] = {}
     for head, fact in produced:
-        if working.relation(head).add(fact):
-            counters.record_new(str(head))
-            deltas[head].add(fact)
+        bucket = seed_by_head.get(head)
+        if bucket is None:
+            bucket = seed_by_head[head] = []
+        bucket.append(fact)
+    for head, facts in seed_by_head.items():
+        fresh = working.relation(head).add_new_many(facts)
+        if fresh:
+            counters.record_new(head, len(fresh))
+            deltas[head].update(fresh)
 
     if not stratum.recursive:
         for predicate in predicates:

@@ -25,7 +25,13 @@ from .fragments import (
 )
 from .index import HashIndex
 from .interning import ConstantInterner, global_interner, reset_global_interner
-from .packing import is_packed, pack_facts, packed_fact_count, unpack_facts
+from .packing import (
+    is_packed,
+    pack_facts,
+    packed_fact_count,
+    unpack_columns,
+    unpack_facts,
+)
 from .relation import Fact, Relation
 
 __all__ = [
@@ -52,5 +58,6 @@ __all__ = [
     "relation_class",
     "reset_global_interner",
     "set_fact_backend",
+    "unpack_columns",
     "unpack_facts",
 ]

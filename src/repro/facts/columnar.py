@@ -12,10 +12,18 @@ with a different storage layout, selectable via
   argument (docs/DATA_PLANE.md) is by construction: both backends hold
   the same value tuples.
 * The **columns** are flat ``array('q')`` buffers of interned constant
-  ids (:mod:`repro.facts.interning`), one per attribute position.  They
-  are a *cache* over the row store, materialised lazily on first batch
-  access and invalidated wholesale by any mutation — engine paths that
-  never touch them pay nothing beyond the dict insert.
+  ids (:mod:`repro.facts.interning`), one per attribute position, plus
+  a parallel raw-value column cache (:meth:`ColumnarRelation.
+  value_columns`) serving the vectorized join kernel's full-scan seed.
+  Both are *caches* over the row store, materialised lazily on first
+  batch access — engine paths that never touch them pay nothing beyond
+  the dict insert.  Additive mutations (:meth:`~ColumnarRelation.add`,
+  :meth:`~ColumnarRelation.update`, :meth:`~ColumnarRelation.
+  add_new_many`) **append to** materialised columns instead of
+  invalidating them, so a growing relation (a transitive closure
+  accumulating across rounds) keeps its batch layout warm at O(new
+  facts) per round; only removals (:meth:`~ColumnarRelation.discard`,
+  :meth:`~ColumnarRelation.clear`) invalidate wholesale.
 
 :class:`ColumnarIndex` extends :class:`~repro.facts.index.HashIndex`
 with per-bucket **gathered key columns**: ``bucket_column(key, pos)``
@@ -117,7 +125,7 @@ class ColumnarRelation(Relation):
     :meth:`column_array`) plus :class:`ColumnarIndex` indexes.
     """
 
-    __slots__ = ("_columns",)
+    __slots__ = ("_columns", "_value_columns")
 
     def __init__(self, name: str, arity: int,
                  facts: Optional[Iterable[Sequence[object]]] = None) -> None:
@@ -129,10 +137,32 @@ class ColumnarRelation(Relation):
         self._facts: Dict[Fact, None] = {}
         self._indexes: Dict[Tuple[int, ...], HashIndex] = {}
         self._columns: Optional[List[array]] = None
+        self._value_columns: Optional[List[List[object]]] = None
         if facts is not None:
             self.update(facts)
 
-    # -- mutation (each invalidates the materialised columns) ---------
+    # -- mutation (additions append to materialised columns; removals
+    # -- invalidate them) ---------------------------------------------
+
+    def _append_rows(self, fresh: Iterable[Fact]) -> None:
+        """Extend materialised column caches with new row-store rows.
+
+        Keeping the caches warm costs O(fresh) here versus an O(all
+        facts) rebuild on the next batch access — the difference
+        between O(new) and O(total) per semi-naive round for a growing
+        relation.  No-op while the caches are cold.
+        """
+        cols = self._columns
+        if cols is not None:
+            intern = global_interner().intern
+            for fact in fresh:
+                for col, value in zip(cols, fact):
+                    col.append(intern(value))
+        vcols = self._value_columns
+        if vcols is not None:
+            for fact in fresh:
+                for col, value in zip(vcols, fact):
+                    col.append(value)
 
     def add(self, fact: Sequence[object]) -> bool:
         tup = tuple(fact)
@@ -142,7 +172,8 @@ class ColumnarRelation(Relation):
         if tup in self._facts:
             return False
         self._facts[tup] = None
-        self._columns = None
+        if self._columns is not None or self._value_columns is not None:
+            self._append_rows((tup,))
         for index in self._indexes.values():
             index.add(tup)
         return True
@@ -161,7 +192,7 @@ class ColumnarRelation(Relation):
         if not fresh:
             return 0
         present.update(fresh)
-        self._columns = None
+        self._append_rows(fresh)
         for index in self._indexes.values():
             index.add_many(fresh)
         return len(fresh)
@@ -180,7 +211,7 @@ class ColumnarRelation(Relation):
             present[tup] = None
             fresh.append(tup)
         if fresh:
-            self._columns = None
+            self._append_rows(fresh)
             for index in self._indexes.values():
                 index.add_many(fresh)
         return fresh
@@ -191,6 +222,7 @@ class ColumnarRelation(Relation):
             return False
         del self._facts[tup]
         self._columns = None
+        self._value_columns = None
         for index in self._indexes.values():
             index.discard(tup)
         return True
@@ -199,11 +231,19 @@ class ColumnarRelation(Relation):
         self._facts.clear()
         self._indexes.clear()
         self._columns = None
+        self._value_columns = None
 
     def copy(self, name: Optional[str] = None) -> "ColumnarRelation":
         clone = ColumnarRelation(
             name if name is not None else self.name, self.arity)
         clone._facts = dict(self._facts)
+        # Carry warm column caches: the clone holds the same rows, so a
+        # fresh cache would rebuild to exactly these values.  Copied,
+        # not shared — the clone appends independently.
+        if self._columns is not None:
+            clone._columns = [array("q", col) for col in self._columns]
+        if self._value_columns is not None:
+            clone._value_columns = [list(col) for col in self._value_columns]
         return clone
 
     # -- indexing -----------------------------------------------------
@@ -238,8 +278,31 @@ class ColumnarRelation(Relation):
             self._columns = cols
         return cols
 
+    def value_columns(self) -> List[List[object]]:
+        """Return the per-attribute **raw value** columns, cached.
+
+        One list per position, row-aligned with relation iteration
+        order; materialised lazily like :meth:`columns` and likewise
+        append-maintained by additive mutations.  This is the
+        vectorized join kernel's full-scan seed: a delta relation built
+        once per round hands its whole batch over without re-walking
+        fact tuples.  Callers must treat the returned lists as
+        read-only — they are shared with every other caller.
+        """
+        cols = self._value_columns
+        if cols is None:
+            cols = [[] for _ in range(self.arity)]
+            appends = [col.append for col in cols]
+            for fact in self._facts:
+                for append, value in zip(appends, fact):
+                    append(value)
+            self._value_columns = cols
+        return cols
+
     def column_values(self, position: int) -> List[object]:
         """Gather the raw (non-interned) values at ``position``."""
+        if self._value_columns is not None:
+            return list(self._value_columns[position])
         return [fact[position] for fact in self._facts]
 
     def column_array(self, position: int):

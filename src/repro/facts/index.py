@@ -81,6 +81,23 @@ class HashIndex:
         """Return the facts whose indexed positions equal ``key``."""
         return self._buckets.get(key, _EMPTY)
 
+    def bucket_column(self, key: Tuple[object, ...],
+                      position: int) -> Sequence[object]:
+        """Gather the ``position`` values of every fact under ``key``.
+
+        Order matches bucket iteration order (insertion order), so
+        zipping two gathers walks the bucket's facts positionally.  The
+        base implementation rebuilds the gather on every call; the
+        columnar backend's :class:`~repro.facts.columnar.ColumnarIndex`
+        overrides it with a per-bucket cache.  The vectorized join
+        kernel (:mod:`repro.engine.plan`) calls this uniformly, so both
+        backends share one batch probe path.
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return _EMPTY
+        return [fact[position] for fact in bucket]
+
     def __len__(self) -> int:
         return self._size
 

@@ -41,6 +41,7 @@ __all__ = [
     "maybe_pack",
     "pack_facts",
     "packed_fact_count",
+    "unpack_columns",
     "unpack_facts",
 ]
 
@@ -151,3 +152,18 @@ def unpack_facts(payload: Tuple) -> List[Fact]:
     if arity == 1:
         return [(value,) for value in decoded[0]]
     return list(zip(*decoded))
+
+
+def unpack_columns(payload: Tuple) -> Tuple[int, int, List[List[object]]]:
+    """Decode a packed payload to ``(count, arity, value columns)``.
+
+    The column-shaped sibling of :func:`unpack_facts`: receivers that
+    ingest batches columnwise (an mp worker handing a DATA batch to the
+    vectorized join kernel) decode each attribute column once and skip
+    the transpose back to row tuples entirely.  Column ``p`` holds the
+    position-``p`` values of every fact, row-aligned across columns.
+    """
+    _, count, arity, columns = payload
+    if count == 0 or arity == 0:
+        return count, arity, []
+    return count, arity, [_decode_column(column) for column in columns]

@@ -94,12 +94,14 @@ import time
 import traceback
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
+from ...engine.plan import set_join_kernel
 from ...facts.backend import make_relation, set_fact_backend
 from ...facts.database import Database
 from ...facts.packing import (
     PACK_MIN_FACTS,
     is_packed,
     pack_facts,
+    packed_fact_count,
     unpack_facts,
 )
 from ...obs.sinks import InMemorySink
@@ -176,6 +178,7 @@ def worker_main(program: ProcessorProgram,
                 faults: Optional[WorkerFaults] = None,
                 epoch: int = 0, sync: str = "bsp",
                 staleness: int = 2, backend: str = "tuple",
+                kernel: str = "compiled",
                 checkpoint_interval: Optional[int] = None,
                 restore: Optional[Dict[str, object]] = None) -> None:
     """Entry point of a worker process.
@@ -207,6 +210,9 @@ def worker_main(program: ProcessorProgram,
             tuple lists; receivers of either format reconstruct the
             identical fact tuples, so the choice is invisible to
             routing and quiescence accounting.
+        kernel: join kernel for this worker's rule evaluation
+            (``set_join_kernel`` is applied alongside the backend, so
+            workers inherit the coordinator process's kernel choice).
         checkpoint_interval: when set (``recovery="checkpoint"``), ship
             a checkpoint to the coordinator every this many productive
             step bursts.
@@ -216,6 +222,7 @@ def worker_main(program: ProcessorProgram,
             initialization rules.
     """
     set_fact_backend(backend)
+    set_join_kernel(kernel)
     pack_wire = backend == "columnar"
     me = program.processor
     tag = processor_tag(me)
@@ -581,13 +588,20 @@ def worker_main(program: ProcessorProgram,
                     _, sender, pairs, msg_epoch, stamp = message
                     count = 0
                     for predicate, payload in pairs:
-                        facts = (unpack_facts(payload) if is_packed(payload)
-                                 else payload)
-                        runtime.receive(predicate, facts, remote=True)
-                        count += len(facts)
+                        # Packed batches stay in wire form: the runtime
+                        # decodes them columnwise at the next step, so
+                        # no per-fact tuple loop runs here.
+                        if is_packed(payload):
+                            runtime.receive_packed(predicate, payload,
+                                                   remote=True)
+                            received = packed_fact_count(payload)
+                        else:
+                            runtime.receive(predicate, payload, remote=True)
+                            received = len(payload)
+                        count += received
                         if trace:
                             tracer.tuple_received(tag, processor_tag(sender),
-                                                  predicate, count=len(facts))
+                                                  predicate, count=received)
                     current = watermarks.get(sender)
                     if current is None or stamp > current:
                         watermarks[sender] = stamp

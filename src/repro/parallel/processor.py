@@ -22,6 +22,7 @@ from ..engine.counters import EvalCounters
 from ..engine.planner import compile_plan
 from ..engine.seminaive import DELTA_SUFFIX, PREV_SUFFIX, delta_variants
 from ..facts.database import Database
+from ..facts.packing import packed_fact_count, unpack_columns, unpack_facts
 from ..facts.relation import Fact, Relation
 from ..obs.tracer import Tracer, ensure_tracer
 from .naming import processor_tag
@@ -65,6 +66,7 @@ class ProcessorRuntime:
         self._in_prev: Dict[str, Relation] = {}
         self._out: Dict[str, Relation] = {}
         self._staged: Dict[str, List[Fact]] = {}
+        self._staged_packed: Dict[str, List[Tuple]] = {}
 
         for pred, iname in program.in_names.items():
             arity = program.arities[pred]
@@ -72,6 +74,7 @@ class ProcessorRuntime:
             self._in_delta[pred] = self.working.declare(iname + DELTA_SUFFIX, arity)
             self._in_prev[pred] = self.working.declare(iname + PREV_SUFFIX, arity)
             self._staged[pred] = []
+            self._staged_packed[pred] = []
         for pred, oname in program.out_names.items():
             self._out[pred] = self.working.declare(oname, program.arities[pred])
             self._out_to_pred[oname] = pred
@@ -129,9 +132,26 @@ class ProcessorRuntime:
         if remote:
             self.received_remote += len(facts)
 
+    def receive_packed(self, predicate: str, payload: Tuple,
+                       remote: bool = True) -> None:
+        """Stage a packed-column DATA payload without row reconstruction.
+
+        The payload (see :mod:`repro.facts.packing`) is held in wire
+        form and decoded columnwise at the next :meth:`step`, where the
+        whole batch is ingested through one ``add_new_many`` — the mp
+        workers hand large DATA batches straight here so no per-fact
+        tuple loop runs between the channel and the delta relation.
+        """
+        count = packed_fact_count(payload)
+        self._staged_packed[predicate].append(payload)
+        self.received_total += count
+        if remote:
+            self.received_remote += count
+
     def has_pending_input(self) -> bool:
         """True iff staged tuples await the next step."""
-        return any(self._staged.values())
+        return (any(self._staged.values())
+                or any(self._staged_packed.values()))
 
     def staged_size(self) -> int:
         """Staged tuples awaiting the next step (duplicates included).
@@ -139,7 +159,10 @@ class ProcessorRuntime:
         The SSP executors report this when a processor is throttled, so
         traces show how much work the staleness bound is holding back.
         """
-        return sum(len(staged) for staged in self._staged.values())
+        return (sum(len(staged) for staged in self._staged.values())
+                + sum(packed_fact_count(payload)
+                      for payloads in self._staged_packed.values()
+                      for payload in payloads))
 
     def step(self) -> List[Emission]:
         """Run one semi-naive round over the staged input.
@@ -154,37 +177,43 @@ class ProcessorRuntime:
 
         # Ingest: new tuples feed the deltas, duplicates are discarded
         # by the difference operation of the paper's receiving step.
+        # Bulk path: plain staged rows and packed payloads (decoded
+        # columnwise, one zip per batch) combine into a single
+        # ``add_new_many`` per predicate — first occurrence wins, every
+        # later occurrence is a drop, exactly the per-fact ``add``
+        # accounting — and the fresh facts land on the columnar
+        # backend's append path for both full and delta.
         tracer = self.tracer
         tracing = tracer.enabled
         fired = False
         for pred, staged in self._staged.items():
-            if not staged:
+            payloads = self._staged_packed[pred]
+            if not staged and not payloads:
                 continue
-            full = self._in_full[pred]
-            delta = self._in_delta[pred]
-            # Bulk ingest: the fresh facts are determined in arrival
-            # order (first occurrence wins, every later occurrence is a
-            # drop — exactly the per-fact ``add`` accounting) and handed
-            # to the relations in one ``update`` each, so index keys are
-            # derived once per fact instead of once per add.
-            fresh: List[Fact] = []
-            seen_new = set()
-            dropped = 0
-            for fact in staged:
-                if fact in seen_new or fact in full:
-                    dropped += 1
+            total = len(staged)
+            rows: List[Fact] = staged if not payloads else list(staged)
+            for payload in payloads:
+                count, arity, columns = unpack_columns(payload)
+                total += count
+                if not count:
+                    continue
+                if arity > 1:
+                    rows.extend(zip(*columns))
+                elif arity == 1:
+                    rows.extend((value,) for value in columns[0])
                 else:
-                    seen_new.add(fact)
-                    fresh.append(fact)
+                    rows.extend(() for _ in range(count))
+            fresh = self._in_full[pred].add_new_many(rows)
+            dropped = total - len(fresh)
             if fresh:
-                full.update(fresh)
-                delta.update(fresh)
+                self._in_delta[pred].update(fresh)
                 fired = True
             if dropped:
                 self.duplicates_dropped += dropped
                 if tracing:
                     tracer.tuple_dropped(self.tag, pred, count=dropped)
             staged.clear()
+            payloads.clear()
         if not fired:
             return []
 
@@ -221,10 +250,18 @@ class ProcessorRuntime:
         a consistent cut of the processor: every fact in ``in_facts``
         has already fired as a delta, so the deltas need not travel.
         """
+        staged: Dict[str, List[Fact]] = {
+            pred: list(rows) for pred, rows in self._staged.items() if rows}
+        # Packed payloads snapshot as plain rows: checkpoints stay
+        # independent of the wire format a batch happened to arrive in.
+        for pred, payloads in self._staged_packed.items():
+            if payloads:
+                rows = staged.setdefault(pred, [])
+                for payload in payloads:
+                    rows.extend(unpack_facts(payload))
         return ({pred: list(rel) for pred, rel in self._in_full.items()},
                 {pred: list(rel) for pred, rel in self._out.items()},
-                {pred: list(staged)
-                 for pred, staged in self._staged.items() if staged})
+                staged)
 
     def import_state(self, in_facts: Dict[str, Sequence[Fact]],
                      out_facts: Dict[str, Sequence[Fact]],

@@ -20,6 +20,9 @@ class TestBackendScenarios:
 
     def test_columnar_scenarios_named_consistently(self):
         for scenario in default_matrix() + smoke_matrix():
+            if scenario.kernel is not None:
+                assert scenario.name.endswith("-" + scenario.kernel)
+                continue
             assert (scenario.backend == "columnar") == (
                 scenario.name.endswith("-columnar"))
 

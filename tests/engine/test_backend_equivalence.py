@@ -10,8 +10,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import EvalCounters, evaluate, set_join_kernel
+from repro.datalog import Program, parse_program
+from repro.engine import JOIN_KERNELS, EvalCounters, evaluate, set_join_kernel
 from repro.facts import Database, set_fact_backend
+from repro.parallel import HashConstraint
+from repro.parallel.discriminating import ModuloDiscriminator
 from repro.workloads import (
     ancestor_program,
     nonlinear_ancestor_program,
@@ -44,7 +47,7 @@ def _evaluate_under(backend, kernel, program, relations, method):
 def _assert_all_backends_agree(program, relations, method="seminaive"):
     reference = None
     for backend in ("tuple", "columnar"):
-        for kernel in (True, False):
+        for kernel in JOIN_KERNELS:
             answers, counters = _evaluate_under(
                 backend, kernel, program, relations, method)
             observed = (answers, counters.total_firings(), counters.probes,
@@ -85,3 +88,27 @@ class TestBackendKernelEquivalence:
         edges = [(i, i + 1) for i in range(1, 30)]
         _assert_all_backends_agree(ancestor_program(), {"par": edges},
                                    method=method)
+
+    @given(edge_lists)
+    @settings(max_examples=15, deadline=None)
+    def test_multi_step_bodies(self, edges):
+        # Three-atom bodies drive the kernels through several join
+        # levels per rule, where the vectorized kernel's per-level
+        # grouping must count probes exactly like backtracking does.
+        program = parse_program("""
+            hop2(X, Z) :- e(X, Y), e(Y, Z).
+            reach(X, Y) :- e(X, Y).
+            reach(X, Y) :- reach(X, Z), e(Z, W), e(W, Y).
+        """)
+        _assert_all_backends_agree(program, {"e": edges})
+
+    @given(edge_lists, st.sampled_from([0, 1]))
+    @settings(max_examples=15, deadline=None)
+    def test_constraint_bearing_rules(self, edges, target):
+        # Hash constraints (the parallel rewrites' side conditions)
+        # force every kernel through its constraint-filter path.
+        disc = ModuloDiscriminator((0, 1))
+        rules = [rule.with_constraints(
+                     [HashConstraint(disc, rule.head_variables(), target)])
+                 for rule in ancestor_program().rules]
+        _assert_all_backends_agree(Program(rules), {"par": edges})

@@ -1,20 +1,24 @@
-"""Equivalence of the compiled join kernel and the generic interpreter.
+"""Equivalence of the specialized join kernels and the generic interpreter.
 
-The kernel (`RulePlan._execute_compiled`) is the seed evaluator's
-specialized replacement; these tests pin it to the reference
+The compiled kernel (`RulePlan._execute_compiled`) and the vectorized
+batch kernel (`RulePlan._execute_vectorized`) are the seed evaluator's
+specialized replacements; these tests pin both to the reference
 implementation exactly: identical fact sets, firing counts and probe
 counts, over the workload generator (hypothesis) and over hand-built
 corner cases (constants, repeated variables, constraints, full scans).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datalog import Variable, parse_program
 from repro.engine import (
+    JOIN_KERNELS,
     EvalCounters,
     compile_plan,
     evaluate,
+    join_kernel,
     join_kernel_enabled,
     set_join_kernel,
 )
@@ -27,36 +31,61 @@ edge_lists = st.lists(
     min_size=0, max_size=30).map(lambda edges: sorted(set(edges)))
 
 
+def _all_paths(program, database, method="seminaive"):
+    """Evaluate under every kernel; returns {kernel: result}."""
+    results = {}
+    for kernel in JOIN_KERNELS:
+        previous = set_join_kernel(kernel)
+        try:
+            results[kernel] = evaluate(program, database, method=method)
+        finally:
+            set_join_kernel(previous)
+    return results
+
+
 def _both_paths(program, database, method="seminaive"):
-    previous = set_join_kernel(False)
-    try:
-        generic = evaluate(program, database, method=method)
-    finally:
-        set_join_kernel(previous)
-    previous = set_join_kernel(True)
-    try:
-        compiled = evaluate(program, database, method=method)
-    finally:
-        set_join_kernel(previous)
-    return generic, compiled
+    results = _all_paths(program, database, method=method)
+    return results["generic"], results
 
 
-def _assert_equivalent(generic, compiled, predicates):
-    for predicate in predicates:
-        assert (compiled.relation(predicate).as_set()
-                == generic.relation(predicate).as_set())
-    assert compiled.counters.total_firings() == generic.counters.total_firings()
-    assert compiled.counters.probes == generic.counters.probes
-    assert compiled.counters.iterations == generic.counters.iterations
+def _assert_equivalent(generic, results, predicates):
+    for kernel, result in results.items():
+        for predicate in predicates:
+            assert (result.relation(predicate).as_set()
+                    == generic.relation(predicate).as_set()), kernel
+        assert (result.counters.total_firings()
+                == generic.counters.total_firings()), kernel
+        assert result.counters.probes == generic.counters.probes, kernel
+        assert result.counters.iterations == generic.counters.iterations, kernel
 
 
 class TestToggle:
-    def test_set_join_kernel_returns_previous(self):
-        original = join_kernel_enabled()
-        assert set_join_kernel(False) == original
+    def test_set_join_kernel_returns_previous_name(self):
+        original = join_kernel()
+        assert set_join_kernel("generic") == original
+        assert join_kernel() == "generic"
         assert join_kernel_enabled() is False
-        assert set_join_kernel(original) is False
-        assert join_kernel_enabled() == original
+        assert set_join_kernel("vectorized") == "generic"
+        assert join_kernel() == "vectorized"
+        assert join_kernel_enabled() is True
+        assert set_join_kernel(original) == "vectorized"
+        assert join_kernel() == original
+
+    def test_bool_arguments_coerce(self):
+        # Back-compat: True/False map onto the compiled/generic kernels.
+        original = set_join_kernel(False)
+        try:
+            assert join_kernel() == "generic"
+            set_join_kernel(True)
+            assert join_kernel() == "compiled"
+        finally:
+            set_join_kernel(original)
+
+    def test_unknown_kernel_rejected(self):
+        before = join_kernel()
+        with pytest.raises(ValueError):
+            set_join_kernel("simd")
+        assert join_kernel() == before
 
     def test_per_call_override_beats_default(self):
         program = parse_program("""
@@ -69,7 +98,9 @@ class TestToggle:
         plan = compile_plan(program.proper_rules()[0])
         forced_generic = set(plan.execute(working, kernel=False))
         forced_kernel = set(plan.execute(working, kernel=True))
-        assert forced_generic == forced_kernel == {(1, 2), (2, 3)}
+        forced_vectorized = set(plan.execute(working, kernel="vectorized"))
+        assert (forced_generic == forced_kernel == forced_vectorized
+                == {(1, 2), (2, 3)})
 
 
 class TestWorkloadEquivalence:
@@ -115,9 +146,10 @@ class TestCornerCases:
         """)
         database = Database.from_facts(
             {"e": [(1, 3), (2, 3), (5, 4)]})
-        generic, compiled = _both_paths(program, database)
-        _assert_equivalent(generic, compiled, ["p", "q"])
-        assert compiled.relation("p").as_set() == {(1, 7), (2, 7)}
+        generic, results = _both_paths(program, database)
+        _assert_equivalent(generic, results, ["p", "q"])
+        for result in results.values():
+            assert result.relation("p").as_set() == {(1, 7), (2, 7)}
 
     def test_repeated_variable_within_atom(self):
         program = parse_program("""
@@ -126,10 +158,11 @@ class TestCornerCases:
         """)
         database = Database.from_facts(
             {"e": [(1, 1), (1, 2), (2, 1), (3, 4)]})
-        generic, compiled = _both_paths(program, database)
-        _assert_equivalent(generic, compiled, ["loop", "r"])
-        assert compiled.relation("loop").as_set() == {(1,)}
-        assert compiled.relation("r").as_set() == {(1, 1), (1, 2), (2, 1)}
+        generic, results = _both_paths(program, database)
+        _assert_equivalent(generic, results, ["loop", "r"])
+        for result in results.values():
+            assert result.relation("loop").as_set() == {(1,)}
+            assert result.relation("r").as_set() == {(1, 1), (1, 2), (2, 1)}
 
     def test_hash_constraints_parallel_rewrite(self):
         # The rewritten programs carry HashConstraints, exercising the
@@ -138,28 +171,32 @@ class TestCornerCases:
         workload = make_workload("dag", 40, seed=7)
         parallel_program = example3_scheme(workload.program,
                                            tuple(range(4)))
-        previous = set_join_kernel(False)
+        previous = set_join_kernel("generic")
         try:
             generic = run_parallel(parallel_program, workload.database)
         finally:
             set_join_kernel(previous)
-        compiled = run_parallel(parallel_program, workload.database)
-        for predicate in parallel_program.derived:
-            assert (compiled.relation(predicate).as_set()
-                    == generic.relation(predicate).as_set())
-        assert (compiled.metrics.total_firings()
-                == generic.metrics.total_firings())
-        assert compiled.metrics.total_sent() == generic.metrics.total_sent()
+        for kernel in ("compiled", "vectorized"):
+            previous = set_join_kernel(kernel)
+            try:
+                specialized = run_parallel(parallel_program, workload.database)
+            finally:
+                set_join_kernel(previous)
+            for predicate in parallel_program.derived:
+                assert (specialized.relation(predicate).as_set()
+                        == generic.relation(predicate).as_set()), kernel
+            assert (specialized.metrics.total_firings()
+                    == generic.metrics.total_firings()), kernel
+            assert (specialized.metrics.total_sent()
+                    == generic.metrics.total_sent()), kernel
 
     def test_missing_relation_raises_same_error(self):
-        import pytest
-
         from repro.errors import EvaluationError
 
         program = parse_program("p(X) :- q(X).", validate=False)
         plan = compile_plan(program.rules[0])
         empty = Database()
-        for kernel in (False, True):
+        for kernel in JOIN_KERNELS:
             with pytest.raises(EvaluationError, match="no relation"):
                 list(plan.execute(empty, kernel=kernel))
 
@@ -169,8 +206,10 @@ class TestCornerCases:
         """, validate=False)
         database = Database.from_facts({"par": [(1, 2)]})
         plan = compile_plan(program.rules[0])
-        assert list(plan.execute(database, kernel=True)) == [(1, 2)]
-        counters = EvalCounters()
-        assert list(plan.execute(database, counters, kernel=True)) == [(1, 2)]
-        assert counters.total_firings() == 1
-        assert counters.probes == 1
+        for kernel in ("compiled", "vectorized"):
+            assert list(plan.execute(database, kernel=kernel)) == [(1, 2)]
+            counters = EvalCounters()
+            assert (list(plan.execute(database, counters, kernel=kernel))
+                    == [(1, 2)])
+            assert counters.total_firings() == 1
+            assert counters.probes == 1

@@ -82,13 +82,33 @@ class TestColumnarRelation:
         assert [interner.value_of(i) for i in cols[0]] == ["a", "b"]
         assert [interner.value_of(i) for i in cols[1]] == [1, 2]
 
-    def test_columns_invalidated_on_mutation(self):
+    def test_columns_appended_on_add_invalidated_on_discard(self):
         relation = ColumnarRelation("p", 1, [(1,)])
         first = relation.columns()
         relation.add((2,))
         second = relation.columns()
-        assert first is not second
-        assert len(second[0]) == 2
+        # Additive mutations append to the materialised cache in place
+        # (O(new) per round) instead of forcing an O(total) rebuild.
+        assert first is second
+        interner = global_interner()
+        assert [interner.value_of(i) for i in second[0]] == [1, 2]
+        relation.update([(3,), (2,)])
+        assert [interner.value_of(i) for i in relation.columns()[0]] == [1, 2, 3]
+        # Removals still invalidate wholesale.
+        relation.discard((1,))
+        third = relation.columns()
+        assert third is not second
+        assert [interner.value_of(i) for i in third[0]] == [2, 3]
+
+    def test_value_columns_cached_and_appended(self):
+        relation = ColumnarRelation("p", 2, [("x", 1)])
+        cols = relation.value_columns()
+        assert cols == [["x"], [1]]
+        relation.add_new_many([("y", 2), ("x", 1)])
+        assert relation.value_columns() is cols
+        assert cols == [["x", "y"], [1, 2]]
+        relation.discard(("x", 1))
+        assert relation.value_columns() == [["y"], [2]]
 
     def test_column_values_raw(self):
         relation = ColumnarRelation("p", 2, [("x", 1), ("y", 2)])

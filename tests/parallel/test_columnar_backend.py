@@ -84,9 +84,10 @@ class TestMultiprocessingColumnar:
         database = Database.from_facts(
             {"par": [(i, i + 1) for i in range(1, 50)]})
         program = example3_scheme(ancestor, (0, 1, 2))
-        tuple_result = run_multiprocessing(program, database, timeout=60)
-        previous = set_fact_backend("columnar")
+        previous = set_fact_backend("tuple")
         try:
+            tuple_result = run_multiprocessing(program, database, timeout=60)
+            set_fact_backend("columnar")
             columnar_result = run_multiprocessing(program, database,
                                                   timeout=60)
         finally:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.datalog import as_linear_sirup
-from repro.facts import Database
+from repro.facts import Database, pack_facts
 from repro.parallel import HashDiscriminator, hash_scheme, rewrite_linear_sirup
 from repro.parallel.processor import ProcessorRuntime
 from repro.workloads import ancestor_program
@@ -40,6 +40,27 @@ class TestProcessorRuntime:
         overlap = ({fact for _p, fact in first.initialize()}
                    & {fact for _p, fact in second.initialize()})
         assert overlap == set()  # second initialize() emits nothing new
+
+    def test_receive_packed_matches_plain_receive(self):
+        plain, _ = _runtime(processors=(0,))
+        packed, _ = _runtime(processors=(0,))
+        plain.initialize()
+        packed.initialize()
+        batch = [(2, 3), (2, 4), (2, 3)]
+        plain.receive("anc", batch)
+        packed.receive_packed("anc", pack_facts(batch))
+        assert packed.staged_size() == plain.staged_size() == 3
+        assert packed.has_pending_input()
+        assert sorted(packed.step()) == sorted(plain.step())
+        assert packed.duplicates_dropped == plain.duplicates_dropped
+        assert packed.received_total == plain.received_total == 3
+
+    def test_export_state_decodes_packed_staged(self):
+        runtime, _parallel = _runtime(processors=(0,))
+        runtime.initialize()
+        runtime.receive_packed("anc", pack_facts([(5, 6)] * 9))
+        _ins, _outs, staged = runtime.export_state()
+        assert staged["anc"] == [(5, 6)] * 9
 
     def test_step_without_input_is_idle(self):
         runtime, _parallel = _runtime()
